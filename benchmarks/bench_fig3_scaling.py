@@ -1,0 +1,51 @@
+"""Fig 3: strong scaling of the SpKAdd algorithms (three workloads)."""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+
+
+@pytest.mark.parametrize("workload", ["a_er", "b_rmat", "c_eukarya"])
+def test_fig3(benchmark, scale, workload):
+    benchmark.group = "paper-figures"
+    res = benchmark.pedantic(
+        run_fig3, kwargs={"workload": workload, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(res.to_text())
+    # hash-family is fastest at full thread count (ER, Eukarya); on the
+    # reduced RMAT panel SPA can take the lead (concentrated-skew
+    # caveat, EXPERIMENTS.md) — still a work-efficient k-way method.
+    final = {m: s[-1] for m, s in res.seconds.items()}
+    fastest = min(final, key=final.get)
+    allowed = ("hash", "sliding_hash") if workload != "b_rmat" else (
+        "hash", "sliding_hash", "spa")
+    assert fastest in allowed
+    # k-way methods scale: time at 48t well below time at 1t
+    for meth in ("hash", "heap"):
+        assert res.seconds[meth][-1] < res.seconds[meth][0] / 4
+    # the 2-way tree is never faster than hash at high thread counts
+    # (RMAT exempted: see the concentrated-skew caveat above)
+    if workload != "b_rmat":
+        assert res.seconds["2way_tree"][-1] > res.seconds["hash"][-1]
+
+
+def test_fig3_static_vs_dynamic_rmat(benchmark, scale):
+    """Section III-A: static scheduling hurts on skewed (RMAT) inputs."""
+    benchmark.group = "paper-figures"
+    res = benchmark.pedantic(
+        run_fig3, kwargs={"workload": "b_rmat", "scale": scale,
+                          "methods": ("hash",)},
+        rounds=1, iterations=1,
+    )
+    dynamic = res.seconds["hash"][-1]
+    static = res.static_seconds["hash"][-1]
+    print(f"\nRMAT hash @48t: dynamic={dynamic:.4f}s static={static:.4f}s "
+          f"(imbalance penalty {static / dynamic:.2f}x)")
+    assert static >= dynamic
+
+
+if __name__ == "__main__":
+    for w in ("a_er", "b_rmat", "c_eukarya"):
+        print(run_fig3(w).to_text())

@@ -1,0 +1,55 @@
+"""Fig 4: sliding-hash runtime vs hash-table size (six panels).
+
+The U-shape and the cache-determined optimum are the paper's key
+explanatory result; panel (e)/(f) show the AMD EPYC optimum sitting
+left of Skylake's because its LLC is 4x smaller.
+"""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d"])
+def test_fig4_skylake(benchmark, scale, panel):
+    benchmark.group = "paper-figures"
+    sweep = benchmark.pedantic(
+        run_fig4, kwargs={"panel": panel, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(sweep.to_text())
+    print(f"optimum (paper-scale entries): "
+          f"{sweep.optimum_entries * scale.scale_m}")
+    # U-shape: the optimum strictly beats the smallest table swept
+    assert min(sweep.total) < sweep.total[0]
+
+
+@pytest.mark.parametrize("panel", ["e", "f"])
+def test_fig4_epyc(benchmark, scale, panel):
+    benchmark.group = "paper-figures"
+    sweep = benchmark.pedantic(
+        run_fig4, kwargs={"panel": panel, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(sweep.to_text())
+    assert min(sweep.total) < sweep.total[0]
+
+
+def test_fig4_epyc_optimum_left_of_skylake(benchmark, scale):
+    """Smaller LLC -> smaller optimal table (paper's (e) vs (b))."""
+    benchmark.group = "paper-figures"
+
+    def both():
+        return run_fig4("b", scale=scale), run_fig4("e", scale=scale)
+
+    sky, epyc = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\noptimum: skylake={sky.optimum_entries} "
+          f"epyc={epyc.optimum_entries} (reduced-scale entries)")
+    assert epyc.optimum_entries <= sky.optimum_entries
+
+
+if __name__ == "__main__":
+    for p in "abcdef":
+        print(run_fig4(p).to_text())

@@ -1,0 +1,40 @@
+"""Fig 6 (and Fig 5's SUMMA): SpKAdd inside distributed SpGEMM.
+
+Three configurations per dataset: heap SpKAdd, sorted-hash and
+unsorted-hash.  Shape targets from the paper: hash SpKAdd an order of
+magnitude cheaper than heap; skipping the intermediate sort saves
+~20% of local multiply; computation >= 2x faster overall with hash.
+"""
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+
+
+@pytest.mark.parametrize("dataset", ["isolates", "metaclust50"])
+def test_fig6(benchmark, scale, dataset):
+    benchmark.group = "paper-figures"
+    res = benchmark.pedantic(
+        run_fig6,
+        kwargs={"dataset": dataset, "scale": scale, "m": 8192, "d": 8.0,
+                "grid_side": 2},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(res.to_text())
+    print(f"spkadd speedup vs heap: {res.spkadd_speedup_vs_heap:.1f}x; "
+          f"multiply saved by unsorted: "
+          f"{res.multiply_saving_unsorted * 100:.1f}%")
+    # heap SpKAdd is several times slower than hash (paper: ~10x)
+    assert res.spkadd_speedup_vs_heap > 3.0
+    # unsorted intermediates save local-multiply time
+    assert 0.0 < res.multiply_saving_unsorted < 0.6
+    # overall computation with unsorted hash beats heap by >= 1.5x
+    heap_total = res.phase_times["heap"].computation
+    hash_total = res.phase_times["unsorted_hash"].computation
+    assert heap_total / hash_total > 1.5
+
+
+if __name__ == "__main__":
+    for ds in ("isolates", "metaclust50"):
+        print(run_fig6(ds, m=8192, d=8.0, grid_side=2).to_text())

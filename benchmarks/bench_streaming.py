@@ -1,0 +1,45 @@
+"""Streaming/batched SpKAdd (the paper's Section V future work).
+
+Sweeps the batch size: batch=1 degenerates to 2-way incremental,
+batch=k to plain in-memory hash SpKAdd; intermediate sizes trade
+memory residency for extra folds.
+"""
+
+import pytest
+
+from repro.core.stats import KernelStats
+from repro.core.streaming import spkadd_streaming
+from repro.generators import graph_stream_batches
+
+BATCHES = 32
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return graph_stream_batches(
+        n_vertices=1 << 14, batches=BATCHES, edges_per_batch=20_000,
+        skew=0.8, seed=9,
+    )
+
+
+@pytest.mark.parametrize("batch_size", [1, 4, 16, 32])
+def test_streaming_batch_sizes(benchmark, stream, batch_size):
+    benchmark.group = "streaming"
+    st = KernelStats()
+    out = benchmark.pedantic(
+        spkadd_streaming,
+        args=(stream,), kwargs={"batch_size": batch_size, "stats": st},
+        rounds=1, iterations=1,
+    )
+    assert out.nnz > 0
+
+
+def test_streaming_work_decreases_with_batch(stream):
+    """Bigger batches -> fewer 2-way folds -> less total work."""
+    ops = {}
+    for b in (1, 8, 32):
+        st = KernelStats()
+        spkadd_streaming(stream, batch_size=b, stats=st)
+        ops[b] = st.ops
+    print(f"\nstreaming ops by batch size: {ops}")
+    assert ops[32] < ops[8] < ops[1]

@@ -1,0 +1,22 @@
+"""Table I: measured work vs the complexity formulas (regenerates the
+complexity summary empirically)."""
+
+from repro.experiments.table1 import run_table1, table1_text
+
+
+def test_table1(benchmark):
+    benchmark.group = "paper-tables"
+    checks = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(table1_text(checks))
+    # the O(.) bounds are tight: constant measured/formula ratio per alg
+    by_method = {}
+    for c in checks:
+        by_method.setdefault(c.method, []).append(c.ratio)
+    for meth, ratios in by_method.items():
+        spread = max(ratios) / min(ratios)
+        assert spread < 2.0, (meth, ratios)
+
+
+if __name__ == "__main__":
+    print(table1_text(run_table1()))

@@ -1,0 +1,31 @@
+"""Table III: the 8-algorithm runtime grid on ER matrices (model vs
+paper), plus shape assertions on who wins where."""
+
+from repro.experiments.tables34 import run_table3
+
+
+def test_table3(benchmark, scale):
+    benchmark.group = "paper-tables"
+    grid = benchmark.pedantic(
+        run_table3, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    print()
+    print(grid.to_text())
+    # Shape checks (the paper's green cells):
+    # hash-family methods win every column at k >= 32
+    for d in grid.d_values:
+        for k in grid.k_values:
+            if k >= 32:
+                assert grid.winner(d, k) in ("hash", "sliding_hash"), (d, k)
+    # sliding hash wins the heaviest cell (out-of-cache tables)
+    assert grid.winner(8192, 128) == "sliding_hash"
+    # the MKL stand-ins are never competitive
+    for d in grid.d_values:
+        for k in grid.k_values:
+            assert grid.winner(d, k) not in (
+                "scipy_incremental", "scipy_tree",
+            )
+
+
+if __name__ == "__main__":
+    print(run_table3().to_text())

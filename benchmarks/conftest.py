@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+All paper-reproduction benches run at a reduced scale controlled by the
+``REPRO_SCALE_M`` / ``REPRO_SCALE_N`` environment variables (see
+``repro.experiments.config``).  Benches default to a fast preset here so
+``pytest benchmarks/ --benchmark-only`` completes in minutes; export
+``REPRO_SCALE_M=16 REPRO_SCALE_N=16`` for the fidelity scale used in
+EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE_M", "32")
+os.environ.setdefault("REPRO_SCALE_N", "64")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments.config import ReproScale
+
+    return ReproScale.from_env()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Distributed sparse SUMMA SpGEMM with pluggable SpKAdd (Figs 5 and 6).
+
+Squares a protein-similarity-like matrix on a simulated process grid,
+printing the SUMMA stage structure of Fig 5 and the computation-phase
+comparison of Fig 6: heap SpKAdd vs sorted-hash vs unsorted-hash.
+
+Run:  python examples/distributed_spgemm.py
+"""
+
+from repro.distributed import ProcessGrid, summa_spgemm, spgemm_phase_times
+from repro.distributed.comm import CommLog
+from repro.experiments.fig6 import _square_surrogate
+from repro.formats.convert import from_scipy, to_scipy
+from repro.formats.ops import matrices_equal
+from repro.machine import CORI_KNL
+
+
+def main() -> None:
+    m, d = 4096, 6.0
+    grid = ProcessGrid(2, 2)
+    # stages = the SpKAdd fan-in k; the paper runs 64-128 stages (sqrt of
+    # the process count).  Small stage counts are heap's winning regime
+    # (Fig 2, k=4); the hash advantage appears at realistic scale.
+    stages = 32
+    A = _square_surrogate(m, d, sigma=1.0, seed=11)
+    print(f"C = A @ A with A {m}x{m}, nnz={A.nnz}, on a "
+          f"{grid.rows}x{grid.cols} process grid, {stages} SUMMA stages")
+    print(f"=> every process reduces k={stages} intermediate products "
+          "with SpKAdd\n")
+
+    # Fig 5: the stage structure.
+    log = CommLog()
+    res = summa_spgemm(
+        A, A, grid=grid, stages=stages, spkadd_method="hash", comm=log
+    )
+    print("SUMMA broadcasts (Fig 5 dataflow):")
+    for s in range(min(stages, 2)):
+        events = [e for e in log.events if e.stage == s]
+        for e in events[:4]:
+            print(f"  stage {s}: {e.kind} root=rank{e.root} "
+                  f"group={e.group_size} bytes={e.bytes}")
+        print(f"  ... ({len(events)} broadcasts in stage {s})")
+    print(f"total communication: {log.total_bytes / 1e6:.2f} MB "
+          f"(excluded from Fig 6's computation times)\n")
+
+    # Verify against a direct single-matrix SpGEMM.
+    direct = from_scipy((to_scipy(A) @ to_scipy(A)).tocsc(), "csc")
+    assembled = res.assemble()
+    assembled.sort_indices()
+    assert matrices_equal(assembled, direct, atol=1e-9)
+    print(f"verified: distributed result == direct SpGEMM "
+          f"(nnz={assembled.nnz})\n")
+
+    # Fig 6: the three computation configurations.
+    machine = CORI_KNL  # tables of this small demo fit real caches
+    print(f"{'config':16s} {'multiply(s)':>12s} {'spkadd(s)':>10s} "
+          f"{'total(s)':>9s}")
+    results = {}
+    for name, method, sorted_im in [
+        ("heap", "heap", True),
+        ("sorted_hash", "hash", True),
+        ("unsorted_hash", "hash", False),
+    ]:
+        r = summa_spgemm(
+            A, A, grid=grid, stages=stages,
+            spkadd_method=method, sorted_intermediates=sorted_im,
+            spkadd_kwargs={"block_cols": 1} if method == "hash" else None,
+        )
+        t = spgemm_phase_times(r, machine, threads_per_process=8)
+        results[name] = t
+        print(f"{name:16s} {t.local_multiply:12.4f} {t.spkadd:10.4f} "
+              f"{t.computation:9.4f}")
+
+    speedup = results["heap"].spkadd / results["unsorted_hash"].spkadd
+    saved = 1 - (results["unsorted_hash"].local_multiply
+                 / results["sorted_hash"].local_multiply)
+    print(f"\nhash SpKAdd is {speedup:.1f}x faster than heap; skipping the "
+          f"intermediate sort saves {saved:.0%} of local multiply "
+          "(paper: ~10x and ~20%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Sparse allreduce of sparsified gradients (the paper's DL motivation).
+
+k workers each keep the top fraction of their gradient for one weight
+matrix; the allreduce must sum k sparse matrices.  Because workers train
+on correlated data, their kept coordinates overlap (compression factor
+> 1) — exactly the regime where a fused k-way SpKAdd beats folding the
+updates pairwise.
+
+Run:  python examples/gradient_allreduce.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.formats.ops import matrices_equal
+from repro.generators import gradient_update_collection
+
+
+def main() -> None:
+    rows, cols, k = 512, 256, 32
+    density, correlated = 0.02, 0.6
+    print(
+        f"Simulating {k} workers, weight matrix {rows}x{cols}, "
+        f"top-{density:.0%} sparsification, {correlated:.0%} shared support"
+    )
+    updates = gradient_update_collection(
+        rows=rows, cols=cols, k=k, density=density,
+        correlated=correlated, seed=7,
+    )
+    total_in = sum(u.nnz for u in updates)
+
+    # The reduction: hash SpKAdd (one pass) vs pairwise folding.
+    t0 = time.perf_counter()
+    fused = repro.spkadd(updates, method="hash")
+    t_fused = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    folded = repro.spkadd(updates, method="scipy_incremental")
+    t_folded = time.perf_counter() - t0
+    assert matrices_equal(_canon(fused.matrix), _canon(folded.matrix),
+                          atol=1e-9)
+
+    agg = fused.matrix
+    cf = total_in / agg.nnz
+    print(f"aggregate update: nnz={agg.nnz} (inputs {total_in}), cf={cf:.2f}")
+    print(f"hash SpKAdd work:     {fused.stats.ops:.0f} ops "
+          f"({t_fused * 1e3:.1f} ms wall)")
+    print(f"pairwise fold work:   {folded.stats.ops:.0f} element touches "
+          f"({t_folded * 1e3:.1f} ms wall)")
+    print(f"work ratio pairwise/hash: "
+          f"{folded.stats.ops / max(fused.stats.ops, 1):.1f}x")
+
+    # Apply the averaged update to the dense weights.
+    weights = np.zeros((rows, cols))
+    lr = 0.1
+    weights -= lr / k * agg.to_dense()
+    print(f"applied averaged update; |dW| max = {np.abs(weights).max():.3e}")
+
+    # Server-side streaming variant: updates arrive in batches of 8.
+    from repro.core.streaming import StreamingAccumulator
+
+    acc = StreamingAccumulator(batch_size=8)
+    for u in updates:
+        acc.push(u)
+    assert matrices_equal(_canon(acc.result()), _canon(agg), atol=1e-9)
+    print("streaming accumulator (batch=8) verified against in-memory sum.")
+
+
+def _canon(mat):
+    out = mat.copy()
+    out.sort_indices()
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Streaming graph accumulation (intro motivation + Section V extension).
+
+Edge batches of a temporal graph arrive as sparse adjacency matrices;
+the running graph is their sum (edge weight = occurrence count).  The
+in-memory SpKAdd assumes all batches fit in memory; the streaming
+accumulator (the paper's suggested batched scheme) holds only
+``batch_size`` matrices plus the running sum.
+
+Run:  python examples/streaming_graph.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.streaming import StreamingAccumulator
+from repro.formats.ops import matrices_equal
+from repro.generators import graph_stream_batches
+
+
+def main() -> None:
+    n_vertices, windows, edges = 1 << 11, 48, 5_000
+    print(f"Streaming graph: {windows} windows of {edges} edges over "
+          f"{n_vertices} vertices (skewed endpoints)")
+    batches = graph_stream_batches(
+        n_vertices=n_vertices, batches=windows,
+        edges_per_batch=edges, skew=1.2, seed=1,
+    )
+
+    # Reference: all-at-once k-way sum.
+    full = repro.spkadd(batches, method="hash")
+    G = full.matrix
+    total_in = sum(b.nnz for b in batches)
+    print(f"accumulated graph: {G.nnz} weighted edges from {total_in} "
+          f"batch entries (cf={total_in / G.nnz:.2f} — hubs recur)")
+
+    # Streaming: bounded residency.
+    for batch_size in (4, 16):
+        acc = StreamingAccumulator(batch_size=batch_size)
+        for b in batches:
+            acc.push(b)
+        result = acc.result()
+        assert matrices_equal(result, G, atol=1e-9)
+        resident = batch_size + 1  # buffered batches + running sum
+        print(f"batch_size={batch_size:3d}: verified; "
+              f"ops={acc.stats.ops:.3g}; "
+              f"peak residency ~{resident} matrices "
+              f"(vs {windows} for in-memory SpKAdd)")
+
+    # Top hubs by accumulated in-weight.
+    col_weight = np.zeros(n_vertices)
+    cols = np.repeat(np.arange(n_vertices), np.diff(G.indptr))
+    np.add.at(col_weight, cols, G.data)
+    top = np.argsort(col_weight)[-5:][::-1]
+    print("top-5 hub columns by accumulated weight:",
+          ", ".join(f"v{int(v)}({col_weight[v]:.0f})" for v in top))
+
+
+if __name__ == "__main__":
+    main()

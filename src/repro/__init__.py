@@ -1,0 +1,42 @@
+"""SpKAdd reproduction: parallel algorithms for adding k sparse matrices.
+
+Reproduction of Hussain, Abhishek, Buluç, Azad — *Parallel Algorithms
+for Adding a Collection of Sparse Matrices* (arXiv:2112.10223).
+
+Quickstart::
+
+    import repro
+    from repro.generators import erdos_renyi_collection
+
+    mats = erdos_renyi_collection(m=4096, n=64, d=16, k=32, seed=0)
+    res = repro.spkadd(mats, method="hash")
+    B = res.matrix                       # the sum, CSC format
+    print(res.stats.summary())
+
+Subpackages
+-----------
+``repro.formats``      CSC/CSR/COO sparse storage (built from scratch)
+``repro.generators``   ER, R-MAT, protein-surrogate and workload generators
+``repro.core``         the SpKAdd algorithms (Algorithms 1-8 + extensions)
+``repro.parallel``     column-parallel execution and scheduling
+``repro.machine``      machine specs, cache simulation, calibrated cost model
+``repro.distributed``  simulated sparse SUMMA SpGEMM (the paper's application)
+``repro.experiments``  drivers regenerating every paper table and figure
+"""
+
+from repro.core.api import SpKAddResult, available_methods, spkadd
+from repro.core.stats import KernelStats
+from repro.formats import CSCMatrix, CSRMatrix, COOMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SpKAddResult",
+    "available_methods",
+    "spkadd",
+    "KernelStats",
+    "CSCMatrix",
+    "CSRMatrix",
+    "COOMatrix",
+    "__version__",
+]

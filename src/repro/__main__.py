@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``        run SpKAdd methods on a generated workload, print stats
+``table3``      regenerate Table III (model vs paper)
+``table4``      regenerate Table IV
+``fig2``        winner maps (``--pattern er|rmat``)
+``fig3``        scaling curves (``--workload a_er|b_rmat|c_eukarya``)
+``fig4``        hash-table-size sweep (``--panel a..f``)
+``table5``      cache-miss comparison
+``fig6``        distributed SpGEMM breakdown (``--dataset``)
+``platforms``   print the Table II machine specs
+
+Scale is controlled by ``REPRO_SCALE_M`` / ``REPRO_SCALE_N`` (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args) -> int:
+    import repro
+    from repro.generators import erdos_renyi_collection, rmat_collection
+
+    gen = erdos_renyi_collection if args.pattern == "er" else rmat_collection
+    mats = gen(args.m, args.n, d=args.d, k=args.k, seed=args.seed)
+    print(f"{args.pattern.upper()} workload: k={args.k}, "
+          f"{args.m}x{args.n}, d={args.d}")
+    for method in repro.available_methods():
+        res = repro.spkadd(mats, method=method)
+        print(f"  {method:20s} nnz={res.matrix.nnz:<9d} "
+              f"{res.stats.summary()}")
+    return 0
+
+
+def _cmd_table(args, which: str) -> int:
+    from repro.experiments.tables34 import run_table3, run_table4
+
+    grid = run_table3() if which == "3" else run_table4()
+    print(grid.to_text())
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from repro.experiments.fig2 import run_fig2
+
+    print(run_fig2(args.pattern, n_cols=args.n_cols).to_text())
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from repro.experiments.fig3 import run_fig3
+
+    res = run_fig3(args.workload)
+    print(res.to_text())
+    print("speedup at max threads:",
+          {k: round(v, 1) for k, v in res.speedup_at_max.items()})
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.experiments.config import ReproScale
+    from repro.experiments.fig4 import run_fig4
+
+    sweep = run_fig4(args.panel)
+    print(sweep.to_text())
+    sc = ReproScale.from_env()
+    print(f"optimum: {sweep.optimum_entries} reduced-scale entries "
+          f"({sweep.optimum_entries * sc.scale_m} at paper scale)")
+    return 0
+
+
+def _cmd_table5(args) -> int:
+    from repro.experiments.table5 import run_table5, table5_text
+
+    print(table5_text(run_table5(max_accesses=args.max_accesses)))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.experiments.fig6 import run_fig6
+
+    res = run_fig6(args.dataset, m=args.m, grid_side=args.grid)
+    print(res.to_text())
+    print(f"spkadd speedup vs heap: {res.spkadd_speedup_vs_heap:.1f}x; "
+          f"unsorted multiply saving: "
+          f"{res.multiply_saving_unsorted * 100:.0f}%")
+    return 0
+
+
+def _cmd_platforms(_args) -> int:
+    from repro.experiments.platforms import table2_text
+
+    print(table2_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SpKAdd reproduction command line",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    d = sub.add_parser("demo", help="run all SpKAdd methods on a workload")
+    d.add_argument("--pattern", choices=["er", "rmat"], default="er")
+    d.add_argument("--m", type=int, default=1 << 14)
+    d.add_argument("--n", type=int, default=64)
+    d.add_argument("--d", type=float, default=16.0)
+    d.add_argument("--k", type=int, default=16)
+    d.add_argument("--seed", type=int, default=0)
+    d.set_defaults(func=_cmd_demo)
+
+    sub.add_parser("table3", help="Table III").set_defaults(
+        func=lambda a: _cmd_table(a, "3"))
+    sub.add_parser("table4", help="Table IV").set_defaults(
+        func=lambda a: _cmd_table(a, "4"))
+
+    f2 = sub.add_parser("fig2", help="winner maps")
+    f2.add_argument("--pattern", choices=["er", "rmat"], default="er")
+    f2.add_argument("--n-cols", type=int, default=8)
+    f2.set_defaults(func=_cmd_fig2)
+
+    f3 = sub.add_parser("fig3", help="scaling curves")
+    f3.add_argument("--workload",
+                    choices=["a_er", "b_rmat", "c_eukarya"], default="a_er")
+    f3.set_defaults(func=_cmd_fig3)
+
+    f4 = sub.add_parser("fig4", help="hash-table-size sweep")
+    f4.add_argument("--panel", choices=list("abcdef"), default="b")
+    f4.set_defaults(func=_cmd_fig4)
+
+    t5 = sub.add_parser("table5", help="cache-miss comparison")
+    t5.add_argument("--max-accesses", type=int, default=400_000)
+    t5.set_defaults(func=_cmd_table5)
+
+    f6 = sub.add_parser("fig6", help="distributed SpGEMM breakdown")
+    f6.add_argument("--dataset",
+                    choices=["isolates", "metaclust50"], default="isolates")
+    f6.add_argument("--m", type=int, default=8192)
+    f6.add_argument("--grid", type=int, default=2)
+    f6.set_defaults(func=_cmd_fig6)
+
+    sub.add_parser("platforms", help="Table II specs").set_defaults(
+        func=_cmd_platforms)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

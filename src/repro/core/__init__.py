@@ -1,0 +1,67 @@
+"""SpKAdd — the paper's primary contribution.
+
+This subpackage implements every algorithm in the paper:
+
+========================  ===========================================  =============
+Paper reference           Function                                     Module
+========================  ===========================================  =============
+Algorithm 1               :func:`spkadd_2way_incremental`              ``pairwise``
+Section II-B2             :func:`spkadd_2way_tree`                     ``pairwise``
+(MKL baseline)            :func:`spkadd_scipy_incremental` / ``_tree`` ``scipy_baseline``
+Algorithm 3 (HeapAdd)     :func:`spkadd_heap`                          ``heap_add``
+Algorithm 4 (SPAAdd)      :func:`spkadd_spa`                           ``spa_add``
+Algorithm 5 (HashAdd)     :func:`spkadd_hash`                          ``hash_add``
+Algorithm 6 (symbolic)    :func:`hash_symbolic`                        ``hash_add``
+Algorithm 7 (SlHashSym)   :func:`sliding_hash_symbolic`                ``sliding_hash``
+Algorithm 8 (SlHashAdd)   :func:`spkadd_sliding_hash`                  ``sliding_hash``
+Section V (future work)   :func:`spkadd_streaming`                     ``streaming``
+========================  ===========================================  =============
+
+The public entry point is :func:`repro.core.api.spkadd`, which dispatches
+on ``method`` and returns the summed matrix together with instrumentation
+(:class:`~repro.core.stats.KernelStats`) for the cost model.
+
+Loop-level transcriptions of the paper's pseudocode (used as correctness
+oracles and for exact operation counting at small scale) live in
+:mod:`repro.core.reference`.
+"""
+
+from repro.core.api import SpKAddResult, available_methods, spkadd
+from repro.core.stats import KernelStats
+from repro.core.pairwise import add_pair, spkadd_2way_incremental, spkadd_2way_tree
+from repro.core.scipy_baseline import spkadd_scipy_incremental, spkadd_scipy_tree
+from repro.core.heap_add import spkadd_heap
+from repro.core.spa_add import spkadd_spa
+from repro.core.hash_add import hash_symbolic, spkadd_hash
+from repro.core.sliding_hash import sliding_hash_symbolic, spkadd_sliding_hash
+from repro.core.symbolic import exact_output_col_nnz, symbolic_nnz
+from repro.core.streaming import spkadd_streaming
+from repro.core.estimator import (
+    er_expected_cf,
+    er_expected_output_col_nnz,
+    expected_distinct,
+)
+
+__all__ = [
+    "SpKAddResult",
+    "available_methods",
+    "spkadd",
+    "KernelStats",
+    "add_pair",
+    "spkadd_2way_incremental",
+    "spkadd_2way_tree",
+    "spkadd_scipy_incremental",
+    "spkadd_scipy_tree",
+    "spkadd_heap",
+    "spkadd_spa",
+    "hash_symbolic",
+    "spkadd_hash",
+    "sliding_hash_symbolic",
+    "spkadd_sliding_hash",
+    "exact_output_col_nnz",
+    "symbolic_nnz",
+    "spkadd_streaming",
+    "er_expected_cf",
+    "er_expected_output_col_nnz",
+    "expected_distinct",
+]

@@ -1,0 +1,157 @@
+"""Public SpKAdd facade.
+
+    >>> from repro import spkadd
+    >>> result = spkadd(list_of_csc_matrices, method="hash")   # doctest: +SKIP
+    >>> B, stats = result.matrix, result.stats
+
+``method`` selects the paper's algorithms by name; ``threads`` routes
+through the shared-memory executor (columns are partitioned among
+threads with the paper's load-balancing rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.hash_add import spkadd_hash
+from repro.core.heap_add import spkadd_heap
+from repro.core.pairwise import spkadd_2way_incremental, spkadd_2way_tree
+from repro.core.scipy_baseline import spkadd_scipy_incremental, spkadd_scipy_tree
+from repro.core.sliding_hash import spkadd_sliding_hash
+from repro.core.spa_add import spkadd_spa
+from repro.core.stats import KernelStats
+from repro.formats.csc import CSCMatrix
+from repro.util.checks import check_nonempty, check_same_shape
+
+
+@dataclass
+class SpKAddResult:
+    """Summed matrix plus the instrumentation of both phases.
+
+    ``stats`` covers the addition phase; ``stats_symbolic`` is filled by
+    the two-phase (hash-family) methods and is ``None`` otherwise.
+    """
+
+    matrix: CSCMatrix
+    stats: KernelStats
+    stats_symbolic: Optional[KernelStats] = None
+    method: str = ""
+
+    @property
+    def compression_factor(self) -> float:
+        """cf = sum_i nnz(A_i) / nnz(B) (>= 1)."""
+        total_in = self.stats.input_nnz if self.stats.input_nnz else 0
+        if self.method in ("2way_incremental", "2way_tree",
+                           "scipy_incremental", "scipy_tree"):
+            # 2-way stats count re-reads; recover the true input size.
+            total_in = None
+        if total_in in (None, 0):
+            return float("nan")
+        return total_in / max(self.matrix.nnz, 1)
+
+
+_TWO_PHASE = {"hash", "hash_unsorted", "sliding_hash", "sliding_hash_unsorted"}
+
+
+def _run_hash(mats, *, sorted_output, **kw):
+    st_sym = KernelStats()
+    st = kw.pop("stats")
+    out = spkadd_hash(
+        mats, sorted_output=sorted_output, stats=st, stats_symbolic=st_sym, **kw
+    )
+    return out, st, st_sym
+
+
+def _run_sliding(mats, *, sorted_output, **kw):
+    st_sym = KernelStats()
+    st = kw.pop("stats")
+    out = spkadd_sliding_hash(
+        mats, sorted_output=sorted_output, stats=st, stats_symbolic=st_sym, **kw
+    )
+    return out, st, st_sym
+
+
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def _register(name: str, fn: Callable) -> None:
+    _REGISTRY[name] = fn
+
+
+def available_methods() -> Sequence[str]:
+    """Names accepted by :func:`spkadd`'s ``method`` argument."""
+    return tuple(sorted(_REGISTRY))
+
+
+def spkadd(
+    mats: Sequence[CSCMatrix],
+    method: str = "hash",
+    *,
+    threads: int = 1,
+    machine=None,
+    sorted_output: bool = True,
+    **kwargs,
+) -> SpKAddResult:
+    """Add a collection of sparse matrices: ``B = sum_i A_i``.
+
+    Parameters
+    ----------
+    mats:
+        The addends, all the same shape, CSC format.
+    method:
+        One of :func:`available_methods`:
+        ``"2way_incremental"`` (Algorithm 1), ``"2way_tree"``,
+        ``"scipy_incremental"`` / ``"scipy_tree"`` (off-the-shelf
+        pairwise baseline, the paper's MKL role), ``"heap"``
+        (Algorithm 3), ``"spa"`` (Algorithm 4), ``"hash"``
+        (Algorithms 5+6), ``"sliding_hash"`` (Algorithms 7+8).
+    threads:
+        >1 runs the column-parallel executor (no synchronization; the
+        paper's Section III-A scheme) with this many worker threads.
+    machine:
+        A :class:`~repro.machine.spec.MachineSpec`; the sliding-hash
+        method derives its cache budget from it (LLC bytes).
+    sorted_output:
+        Hash-family methods can skip the final per-column sort; other
+        methods always emit sorted columns.
+
+    Returns
+    -------
+    :class:`SpKAddResult`
+    """
+    check_nonempty(mats)
+    check_same_shape(mats)
+    if method not in _REGISTRY:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {available_methods()}"
+        )
+    if machine is not None and method == "sliding_hash":
+        kwargs.setdefault("cache_bytes", machine.llc_bytes)
+    if threads > 1:
+        from repro.parallel.executor import parallel_spkadd
+
+        return parallel_spkadd(
+            mats, method, threads=threads, sorted_output=sorted_output, **kwargs
+        )
+    if method == "sliding_hash" and "cache_bytes" in kwargs:
+        kwargs.setdefault("threads", threads)
+    st = KernelStats()
+    runner = _REGISTRY[method]
+    if method in _TWO_PHASE:
+        out, st, st_sym = runner(
+            mats, sorted_output=sorted_output, stats=st, **kwargs
+        )
+        return SpKAddResult(out, st, st_sym, method=method)
+    out = runner(mats, stats=st, **kwargs)
+    return SpKAddResult(out, st, None, method=method)
+
+
+_register("2way_incremental", spkadd_2way_incremental)
+_register("2way_tree", spkadd_2way_tree)
+_register("scipy_incremental", spkadd_scipy_incremental)
+_register("scipy_tree", spkadd_scipy_tree)
+_register("heap", spkadd_heap)
+_register("spa", spkadd_spa)
+_register("hash", _run_hash)
+_register("sliding_hash", _run_sliding)

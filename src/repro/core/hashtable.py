@@ -1,0 +1,246 @@
+"""Vectorized open-addressing hash table with linear probing.
+
+This is the engine behind Algorithms 5–8.  The semantics exactly follow
+the paper: a power-of-two table, the multiplicative-masking hash
+``(a*r) & (2^q - 1)``, linear probing on collision, values accumulated
+in place, and the output read out in *table order* (unsorted unless the
+caller sorts).
+
+Instead of inserting keys one at a time, the vectorized engine processes
+the whole key array in probe *rounds*: in each round every still-pending
+key inspects its current slot, matching keys accumulate, one claimant per
+empty slot inserts, and the rest advance one slot.  The number of slot
+inspections performed is identical in distribution to scalar linear
+probing (insertion order differs, which only permutes equal-cost
+outcomes), so the measured probe counts are faithful.
+
+An optional *trace* capture records the sequence of slot indices touched,
+which the cache simulator replays to count misses (Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.util.hashing import HASH_PRIME, hash_indices, table_size_for
+
+#: value marking an empty slot; row indices are nonnegative so -1 is free.
+EMPTY = np.int64(-1)
+
+
+@dataclass
+class HashAccumResult:
+    """Output of one vectorized hash accumulation.
+
+    ``keys``/``vals`` hold the distinct keys and their sums in **table
+    order** (i.e. unsorted — Algorithm 5 line 13 scans the table).
+    ``slot_ops`` counts every slot inspection (the paper's hash
+    operations); ``probes`` counts only the extra inspections beyond the
+    home slot.  ``trace`` (optional) is the flat sequence of slot indices
+    touched, for cache simulation.
+    """
+
+    keys: np.ndarray
+    vals: np.ndarray
+    table_size: int
+    slot_ops: int
+    probes: int
+    trace: Optional[np.ndarray] = None
+
+
+def hash_accumulate(
+    keys: np.ndarray,
+    vals: np.ndarray,
+    table_size: Optional[int] = None,
+    *,
+    prime: int = HASH_PRIME,
+    capture_trace: bool = False,
+    max_rounds: Optional[int] = None,
+) -> HashAccumResult:
+    """Accumulate ``vals`` by ``keys`` into a linear-probing hash table.
+
+    Parameters
+    ----------
+    keys, vals:
+        Parallel arrays; duplicate keys have their values summed
+        (Algorithm 5 lines 9–10).
+    table_size:
+        Power-of-two table size.  Defaults to the paper's rule — the
+        smallest power of two greater than the number of distinct keys —
+        computed here from an upper bound (``len(keys)``) when not
+        supplied; callers implementing the two-phase scheme pass the
+        symbolic-phase result instead.
+    capture_trace:
+        Record the slot-index sequence for cache simulation (costs
+        memory; off by default).
+
+    Returns
+    -------
+    :class:`HashAccumResult`
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    vals = np.asarray(vals)
+    if keys.shape != vals.shape:
+        raise ValueError("keys and vals must be parallel arrays")
+    if table_size is None:
+        table_size = table_size_for(len(keys))
+    if table_size & (table_size - 1):
+        raise ValueError("table_size must be a power of two")
+
+    tkeys = np.full(table_size, EMPTY, dtype=np.int64)
+    tvals = np.zeros(table_size, dtype=vals.dtype if vals.dtype.kind == "f" else np.float64)
+
+    n = keys.shape[0]
+    slot_ops = 0
+    probes = 0
+    trace_chunks: List[np.ndarray] = [] if capture_trace else None
+
+    if n:
+        slots = hash_indices(keys, table_size, prime).astype(np.int64)
+        active = np.arange(n, dtype=np.int64)
+        mask = np.int64(table_size - 1)
+        rounds = 0
+        # Each round retires >=1 key (one claimant per contended slot),
+        # so n + table_size rounds safely bounds termination.
+        limit = max_rounds if max_rounds is not None else n + table_size + 1
+        while active.size:
+            rounds += 1
+            if rounds > limit:
+                raise RuntimeError(
+                    "hash table full: linear probing did not terminate "
+                    f"(size={table_size}, pending={active.size})"
+                )
+            s = slots[active]
+            occupant = tkeys[s]
+            want = keys[active]
+            matched = occupant == want
+            empty = occupant == EMPTY
+
+            # Matching keys accumulate into their slot (may be several
+            # duplicates of the same key in one round).
+            if matched.any():
+                np.add.at(tvals, s[matched], vals[active[matched]])
+
+            # One claimant per empty slot inserts its key+value; other
+            # keys aiming at the same empty slot *retry the same slot*
+            # next round (they may now match the winner's key).
+            claimed = np.zeros(active.size, dtype=bool)
+            if empty.any():
+                e_idx = np.flatnonzero(empty)
+                _uniq, first = np.unique(s[e_idx], return_index=True)
+                winners = e_idx[first]
+                tkeys[s[winners]] = want[winners]
+                tvals[s[winners]] = vals[active[winners]]
+                claimed[winners] = True
+
+            # Op accounting mirrors scalar probing: a slot inspection is
+            # charged when it resolves (match/claim) or hits a different
+            # key (probe); the lost-race retry is a vectorization
+            # artifact and is not a scalar operation.
+            blocked = ~(matched | empty)
+            charged = matched | claimed | blocked
+            slot_ops += int(np.count_nonzero(charged))
+            probes += int(np.count_nonzero(blocked))
+            if capture_trace and charged.any():
+                trace_chunks.append(s[charged].copy())
+
+            if blocked.any():
+                adv = active[blocked]
+                slots[adv] = (slots[adv] + 1) & mask
+            keep = blocked | (empty & ~claimed)
+            active = active[keep]
+
+    valid = np.flatnonzero(tkeys != EMPTY)
+    trace = (
+        np.concatenate(trace_chunks) if capture_trace and trace_chunks else
+        (np.empty(0, dtype=np.int64) if capture_trace else None)
+    )
+    return HashAccumResult(
+        keys=tkeys[valid],
+        vals=tvals[valid],
+        table_size=table_size,
+        slot_ops=slot_ops,
+        probes=probes,
+        trace=trace,
+    )
+
+
+def hash_count_distinct(
+    keys: np.ndarray,
+    table_size: Optional[int] = None,
+    *,
+    prime: int = HASH_PRIME,
+    capture_trace: bool = False,
+) -> Tuple[int, int, int, Optional[np.ndarray]]:
+    """Symbolic-phase insertion (Algorithm 6): count distinct keys.
+
+    Same probing semantics as :func:`hash_accumulate` but the table
+    stores indices only (4-byte entries in the paper's accounting) and no
+    values are accumulated.
+
+    Returns ``(distinct, slot_ops, probes, trace)``.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if table_size is None:
+        table_size = table_size_for(len(keys))
+    res = hash_accumulate(
+        keys,
+        np.zeros(keys.shape[0], dtype=np.float64),
+        table_size,
+        prime=prime,
+        capture_trace=capture_trace,
+    )
+    return len(res.keys), res.slot_ops, res.probes, res.trace
+
+
+def segmented_hash_accumulate(
+    keys: np.ndarray,
+    vals: np.ndarray,
+    seg_starts: np.ndarray,
+    table_sizes: np.ndarray,
+    *,
+    prime: int = HASH_PRIME,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Run :func:`hash_accumulate` independently on consecutive segments.
+
+    Used by the per-column reference path (``block_cols=1`` semantics)
+    when a caller wants exact per-column tables without a Python-level
+    loop in its own code.  Segments are ``keys[seg_starts[i]:seg_starts
+    [i+1]]`` with table size ``table_sizes[i]``.
+
+    Returns ``(out_keys, out_vals, out_seg_lengths, slot_ops, probes)``
+    with each segment's output in table order.
+    """
+    out_k: List[np.ndarray] = []
+    out_v: List[np.ndarray] = []
+    lengths = np.zeros(len(table_sizes), dtype=np.int64)
+    ops = 0
+    probes = 0
+    for i in range(len(table_sizes)):
+        lo, hi = int(seg_starts[i]), int(seg_starts[i + 1])
+        if hi == lo:
+            continue
+        res = hash_accumulate(keys[lo:hi], vals[lo:hi], int(table_sizes[i]), prime=prime)
+        out_k.append(res.keys)
+        out_v.append(res.vals)
+        lengths[i] = len(res.keys)
+        ops += res.slot_ops
+        probes += res.probes
+    if out_k:
+        return (
+            np.concatenate(out_k),
+            np.concatenate(out_v),
+            lengths,
+            ops,
+            probes,
+        )
+    return (
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+        lengths,
+        ops,
+        probes,
+    )

@@ -1,0 +1,142 @@
+"""Instrumentation collected by every SpKAdd kernel.
+
+The paper's analysis (Table I) is in terms of *work* (data-structure
+operations), *I/O from memory* (bytes streamed), and *data-structure
+memory* (bytes of heap/SPA/hash table per thread).  Each kernel fills a
+:class:`KernelStats` with exactly those quantities, measured — not
+estimated — during execution.  The machine model in
+:mod:`repro.machine.costmodel` converts them into simulated seconds for a
+given :class:`~repro.machine.spec.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class KernelStats:
+    """Measured execution statistics of one SpKAdd phase.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the kernel that produced these stats.
+    k, n_cols:
+        Number of addend matrices and of output columns.
+    input_nnz:
+        Total input entries read (``sum_i nnz(A_i)`` for k-way kernels;
+        larger for 2-way kernels, which re-read intermediates).
+    output_nnz:
+        Entries written to the final output.
+    intermediate_nnz:
+        Entries written to *intermediate* matrices (2-way algorithms
+        only) — the source of their extra I/O.
+    ops:
+        Abstract data-structure operations: heap inserts+extracts, hash
+        slot visits (first probe included), SPA touches, or merge element
+        steps.  This is the paper's "work" column.
+    probes:
+        Extra linear probes caused by hash collisions (subset of ``ops``
+        accounting, tracked separately to expose load-factor effects).
+    heap_ops:
+        Heap insert/extract pairs (heap kernel only); each costs
+        ``O(lg k)``.
+    bytes_read / bytes_written:
+        Streaming I/O from/to main memory in bytes (the paper's I/O
+        complexity measure): inputs are streamed in once per pass,
+        outputs and intermediates streamed out.
+    table_traffic:
+        ``{table_bytes: access_count}`` — random accesses into hash
+        tables / SPA arrays, bucketed by the byte size of the structure
+        being accessed.  The cache model derives hit latencies and miss
+        counts from this histogram.
+    ds_bytes_peak:
+        Peak bytes of the per-thread accumulation data structure
+        (heap: O(k); SPA: O(m); hash: O(max_j nnz(B(:,j)))).
+    col_in_nnz / col_out_nnz:
+        Per-column input/output entry counts — the paper's dynamic
+        load-balancing weights (input nnz for the symbolic phase, output
+        nnz for the addition phase).
+    col_ops:
+        Per-column abstract op counts, used to simulate thread schedules.
+    parts:
+        Number of row partitions used (sliding kernels; 1 = plain hash).
+    """
+
+    algorithm: str = ""
+    k: int = 0
+    n_cols: int = 0
+    input_nnz: int = 0
+    output_nnz: int = 0
+    intermediate_nnz: int = 0
+    ops: float = 0.0
+    probes: float = 0.0
+    heap_ops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    table_traffic: Dict[int, float] = field(default_factory=dict)
+    ds_bytes_peak: int = 0
+    col_in_nnz: Optional[np.ndarray] = None
+    col_out_nnz: Optional[np.ndarray] = None
+    col_ops: Optional[np.ndarray] = None
+    parts: int = 1
+
+    # ------------------------------------------------------------------ api
+    def add_table_traffic(self, table_bytes: int, accesses: float) -> None:
+        """Record ``accesses`` random touches of a structure of
+        ``table_bytes`` bytes."""
+        if accesses <= 0:
+            return
+        tb = int(table_bytes)
+        self.table_traffic[tb] = self.table_traffic.get(tb, 0.0) + float(accesses)
+
+    @property
+    def total_table_accesses(self) -> float:
+        return float(sum(self.table_traffic.values()))
+
+    @property
+    def total_bytes(self) -> float:
+        """Total memory traffic (the paper's I/O measure)."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def avg_probe_length(self) -> float:
+        """Mean probes per hash op beyond the home slot (0 = no
+        collisions)."""
+        if self.ops <= 0:
+            return 0.0
+        return self.probes / self.ops
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Accumulate another phase/partition's stats into this one."""
+        self.input_nnz += other.input_nnz
+        self.output_nnz += other.output_nnz
+        self.intermediate_nnz += other.intermediate_nnz
+        self.ops += other.ops
+        self.probes += other.probes
+        self.heap_ops += other.heap_ops
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        for tb, acc in other.table_traffic.items():
+            self.add_table_traffic(tb, acc)
+        self.ds_bytes_peak = max(self.ds_bytes_peak, other.ds_bytes_peak)
+        self.parts = max(self.parts, other.parts)
+        for name in ("col_in_nnz", "col_out_nnz", "col_ops"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if theirs is not None:
+                setattr(self, name, theirs if mine is None else mine + theirs)
+        return self
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by the harness)."""
+        return (
+            f"{self.algorithm}: k={self.k} n={self.n_cols} "
+            f"in={self.input_nnz} out={self.output_nnz} "
+            f"ops={self.ops:.3g} probes={self.probes:.3g} "
+            f"IO={self.total_bytes / 1e6:.2f}MB ds={self.ds_bytes_peak}B "
+            f"parts={self.parts}"
+        )

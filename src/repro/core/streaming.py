@@ -1,0 +1,121 @@
+"""Streaming / batched SpKAdd — the paper's Section V future work.
+
+The in-memory algorithms assume all k addends are resident.  When
+memory is limited or matrices arrive in batches, the paper suggests
+"arrange input matrices in multiple batches and then use SpKAdd for
+each batch".  :func:`spkadd_streaming` implements exactly that: consume
+an iterable of matrices in batches of ``batch_size``, reduce each batch
+with a k-way kernel, and fold batch results with a running 2-way add.
+
+:class:`StreamingAccumulator` is the stateful form for true streams
+(e.g. the graph-accumulation workload of the intro): feed matrices as
+they arrive, read the running sum at any time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.core.hash_add import spkadd_hash
+from repro.core.pairwise import add_pair
+from repro.core.stats import KernelStats
+from repro.formats.csc import CSCMatrix
+
+
+def _batches(it: Iterable[CSCMatrix], size: int) -> Iterator[List[CSCMatrix]]:
+    batch: List[CSCMatrix] = []
+    for m in it:
+        batch.append(m)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def spkadd_streaming(
+    mats: Iterable[CSCMatrix],
+    *,
+    batch_size: int = 16,
+    kernel: Optional[Callable[..., CSCMatrix]] = None,
+    stats: Optional[KernelStats] = None,
+) -> CSCMatrix:
+    """Sum a (possibly unbounded-length) stream of sparse matrices.
+
+    Peak residency is ``batch_size`` inputs plus the running sum,
+    instead of all k.  Work is the k-way kernel per batch plus
+    ``ceil(k/batch_size)`` 2-way folds of the running sum — asymptotically
+    between hash SpKAdd and 2-way incremental, trading memory for work
+    exactly as the paper describes.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    kern = kernel or (lambda ms, **kw: spkadd_hash(ms, **kw))
+    st = stats if stats is not None else KernelStats()
+    st.algorithm = st.algorithm or f"streaming[b={batch_size}]"
+    acc: Optional[CSCMatrix] = None
+    for batch in _batches(mats, batch_size):
+        st.k += len(batch)
+        partial = batch[0] if len(batch) == 1 else kern(batch, stats=st)
+        if acc is None:
+            acc = partial
+        else:
+            if not partial.sorted:
+                partial.sort_indices()
+            acc = add_pair(acc, partial, st)
+    if acc is None:
+        raise ValueError("spkadd_streaming needs at least one matrix")
+    st.n_cols = acc.shape[1]
+    st.output_nnz = acc.nnz
+    return acc
+
+
+class StreamingAccumulator:
+    """Stateful running sum over a stream of sparse matrices.
+
+    >>> acc = StreamingAccumulator(batch_size=8)
+    >>> for mat in stream: acc.push(mat)        # doctest: +SKIP
+    >>> total = acc.result()                    # doctest: +SKIP
+
+    Matrices are buffered up to ``batch_size`` and folded with the hash
+    kernel; :meth:`result` flushes the buffer and returns the current
+    sum without ending the stream.
+    """
+
+    def __init__(self, *, batch_size: int = 16, kernel=None) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self._kernel = kernel or (lambda ms, **kw: spkadd_hash(ms, **kw))
+        self._buffer: List[CSCMatrix] = []
+        self._acc: Optional[CSCMatrix] = None
+        self.stats = KernelStats(algorithm=f"streaming_acc[b={batch_size}]")
+        self.pushed = 0
+
+    def push(self, mat: CSCMatrix) -> None:
+        """Add one matrix to the stream."""
+        self._buffer.append(mat)
+        self.pushed += 1
+        if len(self._buffer) >= self.batch_size:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        batch = self._buffer
+        self._buffer = []
+        self.stats.k += len(batch)
+        partial = batch[0] if len(batch) == 1 else self._kernel(batch, stats=self.stats)
+        if self._acc is None:
+            self._acc = partial
+        else:
+            if not partial.sorted:
+                partial.sort_indices()
+            self._acc = add_pair(self._acc, partial, self.stats)
+
+    def result(self) -> CSCMatrix:
+        """Flush pending matrices and return the current running sum."""
+        self._flush()
+        if self._acc is None:
+            raise ValueError("no matrices pushed")
+        return self._acc

@@ -1,0 +1,42 @@
+"""Distributed-memory substrate: simulated sparse SUMMA SpGEMM.
+
+The paper's flagship application (Section IV-E) plugs hash SpKAdd into
+the sparse SUMMA SpGEMM of CombBLAS and runs it on up to 16,384 Cori
+KNL processes.  Neither MPI at that scale nor the 37-billion-nonzero
+inputs are available here, so this subpackage *simulates* the
+distributed algorithm on one node:
+
+* :mod:`~repro.distributed.grid` — 2-D process grids and block
+  distribution of sparse matrices;
+* :mod:`~repro.distributed.comm` — a bookkeeping communicator that
+  counts broadcast volumes (Fig 6 excludes communication time, so the
+  volumes are informational);
+* :mod:`~repro.distributed.spgemm_local` — the local SpGEMM kernel
+  (column Gustavson with hash accumulation, sorted or unsorted output);
+* :mod:`~repro.distributed.summa` — the stationary-C sparse SUMMA
+  driver of Fig 5: per stage, each process multiplies its received
+  A/B blocks; after all stages it reduces its intermediates with a
+  chosen SpKAdd method;
+* :mod:`~repro.distributed.timing` — converts the recorded per-process
+  phase statistics into simulated seconds on a
+  :class:`~repro.machine.spec.MachineSpec` (Cori KNL for Fig 6).
+
+Every simulated run is verified against a direct single-matrix SpGEMM.
+"""
+
+from repro.distributed.grid import BlockDistribution, ProcessGrid
+from repro.distributed.comm import CommLog
+from repro.distributed.spgemm_local import LocalSpGEMMStats, local_spgemm
+from repro.distributed.summa import SummaResult, summa_spgemm
+from repro.distributed.timing import spgemm_phase_times
+
+__all__ = [
+    "BlockDistribution",
+    "ProcessGrid",
+    "CommLog",
+    "LocalSpGEMMStats",
+    "local_spgemm",
+    "SummaResult",
+    "summa_spgemm",
+    "spgemm_phase_times",
+]

@@ -1,0 +1,60 @@
+"""Communication bookkeeping for the simulated SUMMA.
+
+Fig 6 deliberately excludes communication ("we show the runtime of both
+computational steps by excluding the communication costs"), so the
+simulated communicator only *accounts* broadcast traffic — volumes and
+a simple alpha-beta time estimate — without affecting the reported
+computation times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+from typing import Dict, List
+
+
+@dataclass
+class CommEvent:
+    stage: int
+    kind: str          # "bcast_A" or "bcast_B"
+    root: int
+    group_size: int
+    bytes: int
+
+
+@dataclass
+class CommLog:
+    """Record of all broadcasts in one SUMMA run.
+
+    ``alpha`` (s) and ``beta`` (s/byte) give a classic latency/bandwidth
+    estimate with tree broadcasts: each broadcast costs
+    ``ceil(lg p) * (alpha + bytes * beta)``.
+    """
+
+    alpha: float = 2e-6
+    beta: float = 1.0 / 10e9  # 10 GB/s links
+    events: List[CommEvent] = field(default_factory=list)
+
+    def bcast(self, stage: int, kind: str, root: int, group_size: int, nbytes: int) -> None:
+        self.events.append(CommEvent(stage, kind, root, group_size, nbytes))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.bytes * max(e.group_size - 1, 0) for e in self.events)
+
+    @property
+    def estimated_seconds(self) -> float:
+        t = 0.0
+        for e in self.events:
+            if e.group_size <= 1:
+                continue
+            rounds = ceil(log2(e.group_size))
+            t += rounds * (self.alpha + e.bytes * self.beta)
+        return t
+
+    def by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + e.bytes * max(e.group_size - 1, 0)
+        return out

@@ -1,0 +1,151 @@
+"""Local sparse matrix-matrix multiply (the per-stage SUMMA kernel).
+
+Column-wise Gustavson on CSC: column j of C = A * B accumulates
+``sum_t B(t, j) * A(:, t)``.  The expansion (gathering A columns for
+every nonzero of B) is fully vectorized; the accumulation of the
+expanded (row, col, val) stream uses either
+
+* ``accumulator="hash"`` — the linear-probing engine (what CombBLAS's
+  hash SpGEMM does; output *unsorted* unless ``sorted_output``), or
+* ``accumulator="sort"`` — sort + reduce (always sorted output).
+
+The paper's Fig 6 point: when the downstream SpKAdd is hash-based it
+accepts unsorted inputs, so local multiplies can skip the final sort
+("Skipping sorting in the local multiplications can make it 20%
+faster").  The sort cost here is real and measurable, and the timing
+model charges it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.blocks import split_keys
+from repro.core.hashtable import hash_accumulate
+from repro.formats.compressed import build_indptr
+from repro.formats.csc import CSCMatrix
+from repro.util.hashing import table_size_for
+
+
+@dataclass
+class LocalSpGEMMStats:
+    """Measured work of one local SpGEMM.
+
+    ``flops``: multiply-add pairs (the classic SpGEMM flop count,
+    counted as expanded entries).  ``hash_ops``/``probes``: accumulator
+    slot visits.  ``sort_entries``: entries passed through the final
+    sort (0 when unsorted output is allowed).  ``table_traffic``:
+    random-access histogram, same convention as
+    :class:`~repro.core.stats.KernelStats`.
+    """
+
+    flops: int = 0
+    hash_ops: int = 0
+    probes: int = 0
+    out_nnz: int = 0
+    sort_entries: int = 0
+    table_traffic: Dict[int, float] = field(default_factory=dict)
+
+    def merge(self, other: "LocalSpGEMMStats") -> "LocalSpGEMMStats":
+        self.flops += other.flops
+        self.hash_ops += other.hash_ops
+        self.probes += other.probes
+        self.out_nnz += other.out_nnz
+        self.sort_entries += other.sort_entries
+        for tb, acc in other.table_traffic.items():
+            self.table_traffic[tb] = self.table_traffic.get(tb, 0.0) + acc
+        return self
+
+
+def _expand(A: CSCMatrix, B: CSCMatrix):
+    """Vectorized Gustavson expansion.
+
+    For every nonzero B(t, j) emit A(:, t) scaled by B(t, j), tagged
+    with output column j.  Returns (out_cols, out_rows, out_vals).
+    """
+    n_out = B.shape[1]
+    b_cols = np.repeat(np.arange(n_out, dtype=np.int64), np.diff(B.indptr))
+    t = B.indices  # inner index of each B nonzero
+    lens = (A.indptr[t + 1] - A.indptr[t]).astype(np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    starts = A.indptr[t].astype(np.int64)
+    # Classic multi-slice gather: for each expanded position, its source
+    # index in A.indices is start[of its B-nonzero] + local offset.
+    offsets = np.concatenate([[0], np.cumsum(lens)])[:-1]
+    gather = np.repeat(starts - offsets, lens) + np.arange(total, dtype=np.int64)
+    rows = A.indices[gather]
+    vals = A.data[gather] * np.repeat(B.data, lens)
+    cols = np.repeat(b_cols, lens)
+    return cols, rows, vals
+
+
+def local_spgemm(
+    A: CSCMatrix,
+    B: CSCMatrix,
+    *,
+    accumulator: str = "hash",
+    sorted_output: bool = False,
+    stats: Optional[LocalSpGEMMStats] = None,
+) -> CSCMatrix:
+    """Compute ``C = A @ B`` for local (in-process) sparse blocks.
+
+    ``sorted_output=False`` with the hash accumulator leaves each output
+    column in table order — valid CSC with unsorted columns, exactly
+    what a hash-based downstream SpKAdd consumes without penalty.
+    """
+    ma, ka = A.shape
+    kb, nb = B.shape
+    if ka != kb:
+        raise ValueError(f"inner dimensions differ: {A.shape} x {B.shape}")
+    if accumulator not in ("hash", "sort"):
+        raise ValueError(f"unknown accumulator {accumulator!r}")
+    st = stats if stats is not None else LocalSpGEMMStats()
+    cols, rows, vals = _expand(A, B)
+    st.flops += int(rows.size)
+    if rows.size == 0:
+        return CSCMatrix.zeros((ma, nb))
+    keys = cols * np.int64(ma) + rows
+    if accumulator == "hash":
+        # Symbolic sizing: distinct keys upper-bounded by the expansion.
+        tsize = table_size_for(int(np.unique(keys).size))
+        res = hash_accumulate(keys, vals, tsize)
+        st.hash_ops += res.slot_ops
+        st.probes += res.probes
+        st.table_traffic[tsize * 8] = st.table_traffic.get(tsize * 8, 0.0) + res.slot_ops
+        okeys, ovals = res.keys, res.vals
+        if sorted_output:
+            order = np.argsort(okeys)
+            st.sort_entries += int(okeys.size)
+        else:
+            order = np.argsort(okeys // np.int64(ma), kind="stable")
+        okeys, ovals = okeys[order], ovals[order]
+    elif accumulator == "sort":
+        order = np.argsort(keys, kind="stable")
+        sk, sv = keys[order], vals[order]
+        is_new = np.empty(sk.size, dtype=bool)
+        is_new[0] = True
+        np.not_equal(sk[1:], sk[:-1], out=is_new[1:])
+        g = np.flatnonzero(is_new)
+        okeys, ovals = sk[g], np.add.reduceat(sv, g)
+        st.sort_entries += int(keys.size)
+    else:
+        raise ValueError(f"unknown accumulator {accumulator!r}")
+    ocols, orows = split_keys(okeys, ma)
+    st.out_nnz += int(okeys.size)
+    return CSCMatrix(
+        (ma, nb),
+        build_indptr(ocols, nb),
+        orows,
+        ovals,
+        sorted=sorted_output or accumulator == "sort",
+        check=False,
+    )

@@ -1,0 +1,28 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+==================  =============================================
+Paper artifact      Driver
+==================  =============================================
+Table I             :mod:`repro.experiments.table1`
+Table II            :mod:`repro.experiments.platforms`
+Fig 2               :mod:`repro.experiments.fig2`
+Table III           :mod:`repro.experiments.table3`
+Table IV            :mod:`repro.experiments.table4`
+Fig 3               :mod:`repro.experiments.fig3`
+Fig 4               :mod:`repro.experiments.fig4`
+Table V             :mod:`repro.experiments.table5`
+Fig 5 / Fig 6       :mod:`repro.experiments.fig6`
+==================  =============================================
+
+Scale handling: experiments run at a reduced scale (rows and per-column
+degree divided by ``scale_m``, columns by ``scale_n``) against a
+capacity-scaled machine, so every cache-capacity ratio matches the
+paper; simulated times extrapolate back with the single factor
+``scale_m * scale_n`` (see DESIGN.md §5 and
+:class:`repro.experiments.config.ReproScale`).
+"""
+
+from repro.experiments.config import ReproScale, PAPER
+from repro.experiments.report import format_series, format_table
+
+__all__ = ["ReproScale", "PAPER", "format_series", "format_table"]

@@ -1,0 +1,132 @@
+"""Calibrate per-algorithm cycle constants against Table III anchors.
+
+We cannot run the authors' C++/OpenMP code on their Skylake node, so
+absolute per-operation costs are unknowable here.  Following the
+reproduction rule (match *shape*, not absolute numbers), each algorithm
+gets exactly **one** fitted constant: its ``cycles_per_op`` is chosen so
+the cost model reproduces the paper's runtime in one anchor cell of
+Table III (ER, d=1024, k=128, 48 threads, Skylake).  Every other cell
+of Tables III/IV and every figure is then a *prediction* of the model.
+
+The memory-latency, bandwidth and partition-overhead terms are not
+fitted — they come from the machine spec — so crossovers (hash vs
+sliding hash, heap vs tree, SPA saturation) are genuine model output.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional
+
+from repro.experiments.config import PAPER, ReproScale
+from repro.experiments.runner import TABLE_METHODS, run_all_methods
+from repro.generators import erdos_renyi_collection
+from repro.machine.costmodel import DEFAULT_CYCLES_PER_OP, CostModel, algorithm_family
+from repro.machine.spec import INTEL_SKYLAKE_8160, MachineSpec
+
+#: Paper Table III, column (d=1024, k=128), Intel Skylake, 48 cores.
+TABLE3_ANCHORS: Dict[str, float] = {
+    "2way_incremental": 5.7806,
+    "scipy_incremental": 29.1978,   # "MKL Incremental"
+    "2way_tree": 1.2798,
+    "scipy_tree": 8.2814,           # "MKL Tree"
+    "heap": 2.1732,
+    "spa": 0.8173,
+    "hash": 0.4463,
+    "sliding_hash": 0.3330,
+}
+
+ANCHOR_D = 1024
+ANCHOR_K = 128
+
+
+def _solve_cpo(
+    target_seconds: float,
+    stats_list,
+    cost_model: CostModel,
+    work_factor: float,
+    capacity_factor: float,
+) -> float:
+    """Solve ``extrapolated_time(cpo) == target`` for the compute
+    constant.
+
+    Per phase the extrapolated time is
+    ``max(cpo*C + M + O, BW)*wf + I*cf + F``; ignoring the (rare)
+    bandwidth-floor branch this is linear in cpo.
+    """
+    # Zero the method's constants to expose the non-compute floor.
+    zeroed = {k: 0.0 for k in cost_model.cycles_per_op}
+    cm0 = CostModel(
+        cost_model.machine, cost_model.threads, zeroed,
+        cost_model.schedule, cost_model.schedule_chunk,
+    )
+    probe = {k: 1.0 for k in cost_model.cycles_per_op}
+    cm1 = CostModel(
+        cost_model.machine, cost_model.threads, probe,
+        cost_model.schedule, cost_model.schedule_chunk,
+    )
+    base = 0.0
+    unit = 0.0
+    for st in stats_list:
+        if st is None:
+            continue
+        t0 = cm0.time(st)
+        # compute at cpo=0 captures cpo-independent compute charges
+        # (e.g. the pairwise allocation term).
+        base += (t0.compute + t0.memory + t0.overhead) * work_factor
+        base += t0.init * capacity_factor + t0.fixed
+        unit += (cm1.time(st).compute - t0.compute) * work_factor
+    if unit <= 0:
+        return 1.0
+    cpo = (target_seconds - base) / unit
+    if cpo <= 0:
+        # Anchor is dominated by modelled memory/init terms; keep a
+        # small positive compute cost.
+        return 0.25
+    return float(cpo)
+
+
+@lru_cache(maxsize=8)
+def _calibrated(scale_m: int, scale_n: int, seed: int) -> Dict[str, float]:
+    scale = ReproScale(scale_m, scale_n)
+    machine = scale.machine(INTEL_SKYLAKE_8160)
+    cm = CostModel(machine, threads=PAPER["threads"])
+    mats = erdos_renyi_collection(
+        scale.m(), scale.n(PAPER["n_er"]),
+        d=scale.d(ANCHOR_D), k=ANCHOR_K, seed=seed,
+    )
+    runs = run_all_methods(mats, cm, time_factor=1.0)
+    constants = dict(DEFAULT_CYCLES_PER_OP)
+    for method, target in TABLE3_ANCHORS.items():
+        run = runs[method]
+        stats_list = [run.stats, run.stats_symbolic]
+        cpo = _solve_cpo(
+            target, stats_list, cm, scale.time_factor, scale.scale_m
+        )
+        fam = algorithm_family(run.stats.algorithm, constants)
+        constants[fam] = cpo
+        if run.stats_symbolic is not None:
+            sym_fam = algorithm_family(run.stats_symbolic.algorithm, constants)
+            constants[sym_fam] = cpo
+    return constants
+
+
+def calibrated_constants(
+    scale: Optional[ReproScale] = None, *, seed: int = 2021
+) -> Dict[str, float]:
+    """Calibrated ``cycles_per_op`` table (cached per scale)."""
+    sc = scale or ReproScale.from_env()
+    return dict(_calibrated(sc.scale_m, sc.scale_n, seed))
+
+
+def calibrated_cost_model(
+    machine: MachineSpec,
+    threads: int,
+    *,
+    scale: Optional[ReproScale] = None,
+    schedule: str = "dynamic",
+) -> CostModel:
+    """A cost model with paper-anchored constants for any machine."""
+    return CostModel(
+        machine, threads, calibrated_constants(scale), schedule=schedule
+    )

@@ -1,0 +1,86 @@
+"""Experiment scale configuration.
+
+The paper's workloads (m = 4M rows, up to 1024/32768 columns, k*d up to
+10^6 entries per column) cannot be materialized in-process, so every
+experiment runs a *proportionally reduced* instance:
+
+* rows ``m`` and per-column degree ``d`` divided by ``scale_m`` — this
+  preserves ``k*d/m`` and hence the compression factor and the
+  table-size / cache-size ratios (the machine's caches are divided by
+  the same factor via ``MachineSpec.scaled``);
+* column count ``n`` divided by ``scale_n`` — columns are homogeneous
+  (ER) or distribution-preserving (R-MAT splits), so this is a pure
+  work factor.
+
+Every cost-model time measured on the reduced instance extrapolates to
+paper scale with the single multiplier ``scale_m * scale_n``.
+
+Environment overrides: ``REPRO_SCALE_M``, ``REPRO_SCALE_N`` (integers);
+``REPRO_FAST=1`` selects a much smaller preset for CI-speed runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.machine.spec import MachineSpec
+
+#: Paper-scale workload constants (Section IV-A).
+PAPER = {
+    "m": 4_000_000,          # rows (the paper's 4M)
+    "n_er": 1024,            # ER column count (Tables III, Fig 2-4)
+    "n_rmat": 32768,         # RMAT column count (Table IV, Fig 3-4)
+    "threads": 48,           # Skylake core count used throughout
+}
+
+
+@dataclass(frozen=True)
+class ReproScale:
+    """Reduction factors for one experiment run."""
+
+    scale_m: int = 16
+    scale_n: int = 16
+
+    @classmethod
+    def from_env(cls) -> "ReproScale":
+        if os.environ.get("REPRO_FAST"):
+            return cls(scale_m=64, scale_n=64)
+        return cls(
+            scale_m=int(os.environ.get("REPRO_SCALE_M", 16)),
+            scale_n=int(os.environ.get("REPRO_SCALE_N", 16)),
+        )
+
+    @property
+    def time_factor(self) -> float:
+        """Multiplier from reduced-instance simulated time to paper scale."""
+        return float(self.scale_m * self.scale_n)
+
+    def m(self, paper_m: int = PAPER["m"]) -> int:
+        return max(paper_m // self.scale_m, 256)
+
+    def m_pow2(self, paper_m: int = PAPER["m"]) -> int:
+        """Row count rounded up to a power of two (R-MAT requirement)."""
+        from repro.util.hashing import next_pow2
+
+        return next_pow2(self.m(paper_m))
+
+    def n(self, paper_n: int) -> int:
+        return max(paper_n // self.scale_n, 8)
+
+    def d(self, paper_d: float) -> float:
+        return max(paper_d / self.scale_m, 1.0)
+
+    def machine(self, spec: MachineSpec) -> MachineSpec:
+        """The capacity-scaled machine matching this reduction."""
+        return spec.scaled(self.scale_m)
+
+    def table_entries(self, paper_entries: int) -> int:
+        """Map a paper hash-table size (entries) to reduced scale."""
+        return max(paper_entries // self.scale_m, 8)
+
+    def describe(self) -> str:
+        return (
+            f"scale: m,d ÷{self.scale_m}; n ÷{self.scale_n}; "
+            f"caches ÷{self.scale_m}; time x{self.time_factor:g}"
+        )

@@ -1,0 +1,110 @@
+"""Fig 2: best-performing algorithm over the (k, d) plane.
+
+ER panel: d in {16 ... 131072} (powers of two), k in {4 ... 128}.
+RMAT panel: d in {16 ... 1024}, k in {4 ... 128}.
+
+The paper's regions to reproduce:
+
+* ER — hash everywhere except the upper-right (dense × many matrices)
+  corner, where sliding hash takes over once
+  ``nnz(B(:,j)) * 8B * threads`` exceeds the 32MB LLC;
+* RMAT — hash/sliding hash for k >= 8, with heap or 2-way tree best at
+  k = 4 (a dense column can be streamed rather than hashed).
+
+The boundary between hash and sliding hash is the cache-capacity
+condition, which survives scaling because both the table sizes and the
+machine's caches shrink by the same factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.calibration import calibrated_cost_model
+from repro.experiments.config import PAPER, ReproScale
+from repro.experiments.report import ABBREV, format_winner_grid
+from repro.experiments.runner import run_all_methods
+from repro.generators import erdos_renyi_collection, rmat_collection
+from repro.machine.spec import INTEL_SKYLAKE_8160
+
+ER_D = tuple(16 * 2**i for i in range(14))      # 16 .. 131072
+RMAT_D = tuple(16 * 2**i for i in range(7))     # 16 .. 1024
+K_VALUES = (4, 8, 16, 32, 64, 128)
+
+#: methods contending in Fig 2 (the MKL baselines never win a cell in
+#: the paper and are omitted from its legend's winning set)
+FIG2_METHODS = (
+    "2way_incremental", "2way_tree", "heap", "spa", "hash", "sliding_hash",
+)
+
+
+@dataclass
+class WinnerMap:
+    pattern: str
+    d_values: Sequence[int]
+    k_values: Sequence[int]
+    winners: Dict[Tuple[int, int], str]         # (k, d) -> method
+    times: Dict[Tuple[int, int], Dict[str, float]]
+
+    def to_text(self) -> str:
+        return format_winner_grid(
+            "k", "d",
+            list(self.k_values), list(self.d_values),
+            {(k, d): self.winners[(k, d)] for k in self.k_values for d in self.d_values},
+            title=f"Fig 2 ({self.pattern.upper()}): best algorithm per (k, d), Skylake",
+            abbrev=ABBREV,
+        )
+
+    def hash_family_share(self) -> float:
+        """Fraction of cells won by hash or sliding hash."""
+        wins = sum(
+            1 for w in self.winners.values() if w in ("hash", "sliding_hash")
+        )
+        return wins / max(len(self.winners), 1)
+
+
+def run_fig2(
+    pattern: str = "er",
+    *,
+    scale: Optional[ReproScale] = None,
+    n_cols: int = 16,
+    threads: int = PAPER["threads"],
+    d_values: Optional[Sequence[int]] = None,
+    k_values: Sequence[int] = K_VALUES,
+    seed: int = 23,
+) -> WinnerMap:
+    """Compute the winner map for one panel.
+
+    ``n_cols`` is deliberately small: Fig 2 only needs per-cell mean
+    behaviour, and ER/RMAT columns are homogeneous enough at 16 columns
+    (the d and k sweeps span 5 orders of magnitude of work).
+    """
+    sc = scale or ReproScale.from_env()
+    machine = sc.machine(INTEL_SKYLAKE_8160)
+    cm = calibrated_cost_model(machine, threads, scale=sc)
+    dv = tuple(d_values) if d_values is not None else (
+        ER_D if pattern == "er" else RMAT_D
+    )
+    winners: Dict[Tuple[int, int], str] = {}
+    times: Dict[Tuple[int, int], Dict[str, float]] = {}
+    for k in k_values:
+        for d in dv:
+            if pattern == "er":
+                mats = erdos_renyi_collection(
+                    sc.m(), n_cols, d=sc.d(d), k=k, seed=seed
+                )
+            else:
+                mats = rmat_collection(
+                    sc.m_pow2(), n_cols, d=sc.d(d), k=k, seed=seed
+                )
+            res = run_all_methods(
+                mats, cm,
+                methods=FIG2_METHODS,
+                time_factor=sc.time_factor,
+                capacity_factor=sc.scale_m,
+            )
+            cell = {m: r.seconds for m, r in res.items()}
+            times[(k, d)] = cell
+            winners[(k, d)] = min(cell, key=cell.get)
+    return WinnerMap(pattern, dv, k_values, winners, times)

@@ -1,0 +1,26 @@
+"""Table II: the evaluation platforms (encoded machine specs)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.machine.spec import PLATFORMS
+
+
+def table2_text() -> str:
+    rows = []
+    for key, mc in PLATFORMS.items():
+        rows.append([
+            mc.name,
+            f"{mc.clock_hz / 1e9:.2f} GHz",
+            f"{mc.l1_bytes // 1024}KB",
+            f"{mc.l2_bytes // 1024}KB" if mc.l2_bytes else "-",
+            f"{mc.llc_bytes // (1024 * 1024)}MB",
+            mc.sockets,
+            mc.cores_per_socket,
+            f"{mc.mem_bytes >> 30}GB",
+        ])
+    return format_table(
+        ["platform", "clock", "L1", "L2", "LLC", "sockets", "cores/soc", "memory"],
+        rows,
+        title="Table II: evaluation platforms (machine model presets)",
+    )

@@ -1,0 +1,94 @@
+"""ASCII rendering of experiment tables, series and winner grids."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3g}"
+        return f"{v:.4f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Plain monospace table with column alignment."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Table of y-series against a shared x-axis (our "figure" form)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_winner_grid(
+    row_label: str,
+    col_label: str,
+    row_values: Sequence,
+    col_values: Sequence,
+    winners: Dict[tuple, str],
+    *,
+    title: Optional[str] = None,
+    abbrev: Optional[Dict[str, str]] = None,
+) -> str:
+    """Fig-2-style grid: the winning algorithm per (row, col) cell."""
+    ab = abbrev or {}
+    headers = [f"{row_label}\\{col_label}"] + [str(c) for c in col_values]
+    rows = []
+    for r in row_values:
+        row = [str(r)]
+        for c in col_values:
+            w = winners.get((r, c), "-")
+            row.append(ab.get(w, w))
+        rows.append(row)
+    legend = ""
+    if abbrev:
+        legend = "\nlegend: " + ", ".join(f"{v}={k}" for k, v in abbrev.items())
+    return format_table(headers, rows, title=title) + legend
+
+
+#: Compact algorithm labels used in the Fig 2 grids.
+ABBREV = {
+    "hash": "H",
+    "sliding_hash": "SH",
+    "2way_tree": "T2",
+    "2way_incremental": "I2",
+    "scipy_tree": "MT",
+    "scipy_incremental": "MI",
+    "heap": "HP",
+    "spa": "SP",
+}

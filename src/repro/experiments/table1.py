@@ -1,0 +1,109 @@
+"""Table I: empirical validation of the complexity summary.
+
+For ER inputs with d nonzeros per column the paper states:
+
+==================  ==============  ============  ==================
+Algorithm           Work            I/O           DS memory
+==================  ==============  ============  ==================
+2-way incremental   O(k^2 n d)      O(k^2 n d)    —
+2-way tree          O(k n d lg k)   O(k n d lg k) —
+k-way heap          O(k n d lg k)   O(k n d)      O(T k)
+k-way SPA           O(k n d)        O(k n d)      O(T m)
+k-way hash          O(k n d)        O(k n d)      O(T k d)
+k-way sliding hash  O(k n d)        O(k n d)      O(M)
+==================  ==============  ============  ==================
+
+This driver measures ops / bytes / structure sizes with the kernels'
+instrumentation and reports the measured-to-formula ratio, which should
+be a k- and d-independent constant per algorithm (the hidden constant
+of the O(.)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Dict, List, Tuple
+
+from repro.core.estimator import (
+    er_2way_incremental_work,
+    er_2way_tree_work,
+    er_heap_work,
+    er_kway_work,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_all_methods
+from repro.generators import erdos_renyi_collection
+from repro.machine.costmodel import CostModel
+from repro.machine.spec import INTEL_SKYLAKE_8160
+
+FORMULAS = {
+    "2way_incremental": er_2way_incremental_work,
+    "2way_tree": er_2way_tree_work,
+    "heap": er_heap_work,
+    "spa": er_kway_work,
+    "hash": er_kway_work,
+    "sliding_hash": er_kway_work,
+}
+
+
+@dataclass
+class ComplexityCheck:
+    method: str
+    cell: Tuple[int, int]          # (d, k)
+    measured_ops: float
+    formula_ops: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured_ops / max(self.formula_ops, 1.0)
+
+
+def run_table1(
+    *,
+    m: int = 1 << 16,
+    n: int = 32,
+    d_values=(8, 32, 128),
+    k_values=(4, 16, 64),
+    seed: int = 71,
+) -> List[ComplexityCheck]:
+    cm = CostModel(INTEL_SKYLAKE_8160.scaled(64), threads=1)
+    out: List[ComplexityCheck] = []
+    for d in d_values:
+        for k in k_values:
+            mats = erdos_renyi_collection(m, n, d=d, k=k, seed=seed)
+            runs = run_all_methods(
+                mats, cm, methods=tuple(FORMULAS),
+            )
+            for meth, formula in FORMULAS.items():
+                rr = runs[meth]
+                ops = rr.stats.ops + (
+                    rr.stats_symbolic.ops if rr.stats_symbolic else 0.0
+                )
+                out.append(
+                    ComplexityCheck(meth, (d, k), ops, formula(d, k, n))
+                )
+    return out
+
+
+def table1_text(checks: List[ComplexityCheck]) -> str:
+    by_method: Dict[str, List[ComplexityCheck]] = {}
+    for c in checks:
+        by_method.setdefault(c.method, []).append(c)
+    rows = []
+    for meth, cs in by_method.items():
+        ratios = [c.ratio for c in cs]
+        rows.append([
+            meth,
+            f"{min(ratios):.3f}",
+            f"{max(ratios):.3f}",
+            f"{max(ratios) / max(min(ratios), 1e-12):.2f}",
+        ])
+    return format_table(
+        ["algorithm", "min ops/formula", "max ops/formula", "spread"],
+        rows,
+        title=(
+            "Table I check: measured ops vs complexity formula across "
+            "(d, k) cells — spread ~1 means the O(.) bound is tight"
+        ),
+    )

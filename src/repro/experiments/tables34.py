@@ -1,0 +1,141 @@
+"""Tables III and IV: runtimes of all eight algorithms over (d, k) grids.
+
+Table III: ER matrices (m=4M, n=1024 at paper scale), d in {16, 1024,
+8192}, k in {4, 32, 128}.  Table IV: RMAT (Graph500 seeds, n=32768),
+d in {16, 64, 512}.  Both on the 48-core Skylake.
+
+Each cell reports our simulated (model) seconds next to the paper's
+measurement; the winner per column should match the paper's green
+cells: hash for small/medium workloads, sliding hash once tables spill
+the LLC, with 2-way tree / heap competitive only at k=4 on RMAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.calibration import calibrated_cost_model
+from repro.experiments.config import PAPER, ReproScale
+from repro.experiments.paper_values import TABLE3_PAPER, TABLE4_PAPER
+from repro.experiments.report import format_table
+from repro.experiments.runner import TABLE_METHODS, RunResult, run_all_methods
+from repro.generators import erdos_renyi_collection, rmat_collection
+from repro.machine.spec import INTEL_SKYLAKE_8160
+
+TABLE3_D = (16, 1024, 8192)
+TABLE4_D = (16, 64, 512)
+TABLE_K = (4, 32, 128)
+
+
+@dataclass
+class RuntimeGrid:
+    """Model-vs-paper runtimes over a (d, k) grid."""
+
+    name: str
+    pattern: str
+    d_values: Sequence[int]
+    k_values: Sequence[int]
+    model: Dict[str, Dict[Tuple[int, int], float]]
+    paper: Dict[str, Dict[Tuple[int, int], Optional[float]]]
+    runs: Dict[Tuple[int, int], Dict[str, RunResult]]
+
+    def winner(self, d: int, k: int, source: str = "model") -> str:
+        table = self.model if source == "model" else self.paper
+        best, best_t = "", float("inf")
+        for meth, cells in table.items():
+            v = cells.get((d, k))
+            if v is not None and v < best_t:
+                best, best_t = meth, v
+        return best
+
+    def to_text(self) -> str:
+        headers = ["algorithm"] + [
+            f"d={d},k={k}" for d in self.d_values for k in self.k_values
+        ]
+        rows: List[List] = []
+        for meth in self.model:
+            row: List = [meth]
+            prow: List = ["  (paper)"]
+            for d in self.d_values:
+                for k in self.k_values:
+                    row.append(self.model[meth].get((d, k)))
+                    pv = self.paper.get(meth, {}).get((d, k))
+                    prow.append(pv if pv is not None else "n/a")
+            rows.append(row)
+            rows.append(prow)
+        win_row: List = ["WINNER model"]
+        pwin_row: List = ["WINNER paper"]
+        for d in self.d_values:
+            for k in self.k_values:
+                win_row.append(self.winner(d, k, "model"))
+                pwin_row.append(self.winner(d, k, "paper"))
+        rows.append(win_row)
+        rows.append(pwin_row)
+        return format_table(headers, rows, title=self.name)
+
+
+def _workload(pattern: str, scale: ReproScale, d: int, k: int, seed: int):
+    if pattern == "er":
+        return erdos_renyi_collection(
+            scale.m(), scale.n(PAPER["n_er"]), d=scale.d(d), k=k, seed=seed
+        )
+    if pattern == "rmat":
+        return rmat_collection(
+            scale.m_pow2(), scale.n(PAPER["n_rmat"]), d=scale.d(d), k=k,
+            seed=seed,
+        )
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+def run_runtime_grid(
+    name: str,
+    pattern: str,
+    d_values: Sequence[int],
+    k_values: Sequence[int],
+    paper: Dict,
+    *,
+    scale: Optional[ReproScale] = None,
+    methods: Sequence[str] = tuple(TABLE_METHODS),
+    threads: int = PAPER["threads"],
+    seed: int = 11,
+) -> RuntimeGrid:
+    sc = scale or ReproScale.from_env()
+    machine = sc.machine(INTEL_SKYLAKE_8160)
+    cm = calibrated_cost_model(machine, threads, scale=sc)
+    model: Dict[str, Dict[Tuple[int, int], float]] = {m: {} for m in methods}
+    runs: Dict[Tuple[int, int], Dict[str, RunResult]] = {}
+    for d in d_values:
+        for k in k_values:
+            mats = _workload(pattern, sc, d, k, seed)
+            res = run_all_methods(
+                mats, cm,
+                methods=methods,
+                time_factor=sc.time_factor,
+                capacity_factor=sc.scale_m,
+            )
+            runs[(d, k)] = res
+            for meth, rr in res.items():
+                model[meth][(d, k)] = rr.seconds
+    return RuntimeGrid(
+        name=name, pattern=pattern, d_values=d_values, k_values=k_values,
+        model=model, paper=paper, runs=runs,
+    )
+
+
+def run_table3(**kw) -> RuntimeGrid:
+    """Table III (ER, Skylake, 48 threads)."""
+    return run_runtime_grid(
+        "Table III: SpKAdd runtimes (s), ER matrices, Intel Skylake 48t "
+        "(model vs paper)",
+        "er", TABLE3_D, TABLE_K, TABLE3_PAPER, **kw,
+    )
+
+
+def run_table4(**kw) -> RuntimeGrid:
+    """Table IV (RMAT, Skylake, 48 threads)."""
+    return run_runtime_grid(
+        "Table IV: SpKAdd runtimes (s), RMAT matrices, Intel Skylake 48t "
+        "(model vs paper)",
+        "rmat", TABLE4_D, TABLE_K, TABLE4_PAPER, **kw,
+    )

@@ -1,0 +1,53 @@
+"""Sparse-matrix storage substrate.
+
+The paper assumes inputs and output in **CSC** (compressed sparse column)
+format — nonzeros stored column by column as ``(rowid, val)`` tuples —
+and notes the algorithms apply equally to CSR and COO.  This subpackage
+implements all three formats from scratch on top of NumPy arrays:
+
+* :class:`~repro.formats.csc.CSCMatrix` — the primary format used by every
+  SpKAdd kernel; columns are contiguous slices, which is what makes the
+  per-column (and per-column-block) parallelization embarrassingly
+  parallel.
+* :class:`~repro.formats.csr.CSRMatrix` — row-major twin, used by the
+  local SpGEMM substrate.
+* :class:`~repro.formats.coo.COOMatrix` — triplet format used by the
+  generators and as an interchange format.
+
+Conversion helpers and structural utilities live in
+:mod:`~repro.formats.convert` and :mod:`~repro.formats.ops`.
+"""
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.convert import (
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_coo,
+    csc_to_csr,
+    csr_to_coo,
+    csr_to_csc,
+    from_scipy,
+    to_scipy,
+)
+from repro.formats.ops import (
+    matrices_equal,
+    sum_with_scipy,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "coo_to_csc",
+    "coo_to_csr",
+    "csc_to_coo",
+    "csc_to_csr",
+    "csr_to_coo",
+    "csr_to_csc",
+    "from_scipy",
+    "to_scipy",
+    "matrices_equal",
+    "sum_with_scipy",
+]

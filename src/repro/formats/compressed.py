@@ -1,0 +1,190 @@
+"""Shared machinery for the two compressed formats (CSC and CSR).
+
+Both formats store a pointer array of length ``n_compressed + 1``, a
+minor-axis index array and a value array.  The only difference is which
+axis is compressed, so the bulk of the implementation lives here and the
+concrete classes supply axis naming.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+DEFAULT_INDEX_DTYPE = np.int64
+DEFAULT_VALUE_DTYPE = np.float64
+
+
+class CompressedBase:
+    """Common storage/validation for compressed sparse formats.
+
+    Attributes
+    ----------
+    indptr:
+        ``int`` array of length ``n_major + 1``; entries of major slice
+        ``j`` occupy ``indices[indptr[j]:indptr[j+1]]``.
+    indices:
+        minor-axis indices of the nonzeros (row ids for CSC, column ids
+        for CSR).
+    data:
+        nonzero values, aligned with ``indices``.
+    shape:
+        ``(n_rows, n_cols)`` of the logical matrix.
+    sorted:
+        whether every major slice has strictly increasing minor indices.
+        The heap and 2-way kernels require sorted inputs; hash and SPA do
+        not (Table I, last column).
+    """
+
+    #: subclass sets: 0 if rows are the major (CSR), 1 if columns (CSC)
+    _major_axis: int = 1
+
+    __slots__ = ("indptr", "indices", "data", "shape", "sorted")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        sorted: bool = True,
+        check: bool = True,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr)
+        self.indices = np.asarray(indices)
+        self.data = np.asarray(data)
+        self.sorted = bool(sorted)
+        if not np.issubdtype(self.indptr.dtype, np.integer):
+            self.indptr = self.indptr.astype(DEFAULT_INDEX_DTYPE)
+        if not np.issubdtype(self.indices.dtype, np.integer):
+            raise TypeError("indices must be an integer array")
+        if check:
+            self.validate()
+
+    # ---------------------------------------------------------------- core
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzero entries."""
+        return int(self.indices.shape[0])
+
+    @property
+    def n_major(self) -> int:
+        return self.shape[self._major_axis]
+
+    @property
+    def n_minor(self) -> int:
+        return self.shape[1 - self._major_axis]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the three backing arrays (the paper's I/O unit)."""
+        return self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+
+    def validate(self) -> None:
+        """Check the structural invariants of the format.
+
+        Raises ``ValueError`` on inconsistent pointers, out-of-range
+        minor indices, or a ``sorted`` flag contradicted by the data.
+        """
+        m, n = self.shape
+        if m < 0 or n < 0:
+            raise ValueError(f"negative shape {self.shape}")
+        if self.indptr.ndim != 1 or self.indptr.shape[0] != self.n_major + 1:
+            raise ValueError(
+                f"indptr must have length n_major+1={self.n_major + 1}, "
+                f"got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be nondecreasing")
+        if int(self.indptr[-1]) != self.indices.shape[0]:
+            raise ValueError(
+                f"indptr[-1]={int(self.indptr[-1])} does not match "
+                f"nnz={self.indices.shape[0]}"
+            )
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must be parallel arrays")
+        if self.nnz:
+            lo = int(self.indices.min())
+            hi = int(self.indices.max())
+            if lo < 0 or hi >= self.n_minor:
+                raise ValueError(
+                    f"minor indices out of range [0, {self.n_minor}): "
+                    f"min={lo} max={hi}"
+                )
+        if self.sorted and not self._check_sorted():
+            raise ValueError("sorted=True but minor indices are not sorted")
+
+    def _check_sorted(self) -> bool:
+        """True iff every major slice is strictly increasing."""
+        if self.nnz == 0:
+            return True
+        d = np.diff(self.indices)
+        # Positions where a new major slice starts may legally decrease.
+        starts = self.indptr[1:-1]
+        ok = d > 0
+        ok[starts[(starts > 0) & (starts < self.nnz)] - 1] = True
+        return bool(ok.all())
+
+    # ------------------------------------------------------------- slicing
+    def major_slice(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(indices, values) view of major slice ``j`` — O(1), no copy."""
+        lo, hi = int(self.indptr[j]), int(self.indptr[j + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def major_range_slices(self, j0: int, j1: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Contiguous view over major slices ``[j0, j1)``.
+
+        Returns ``(indptr_local, indices, data)`` where ``indptr_local``
+        is rebased to start at zero.  Because compressed storage keeps
+        consecutive major slices adjacent, this is a zero-copy view —
+        the property the paper's column-block parallelization exploits.
+        """
+        lo, hi = int(self.indptr[j0]), int(self.indptr[j1])
+        return (
+            self.indptr[j0 : j1 + 1] - lo,
+            self.indices[lo:hi],
+            self.data[lo:hi],
+        )
+
+    def major_nnz(self) -> np.ndarray:
+        """nnz of each major slice (the load-balancing weights)."""
+        return np.diff(self.indptr)
+
+    # ------------------------------------------------------------ mutation
+    def sort_indices(self) -> None:
+        """Sort every major slice by minor index, in place.
+
+        Uses a single stable argsort over (major, minor) pairs, which is
+        how a compiled library would canonicalize; cost O(nnz log nnz).
+        """
+        if self.sorted or self.nnz == 0:
+            self.sorted = True
+            return
+        major = np.repeat(
+            np.arange(self.n_major, dtype=np.int64), np.diff(self.indptr)
+        )
+        order = np.lexsort((self.indices, major))
+        self.indices = np.ascontiguousarray(self.indices[order])
+        self.data = np.ascontiguousarray(self.data[order])
+        self.sorted = True
+
+    # ------------------------------------------------------------- dunders
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cls = type(self).__name__
+        return (
+            f"<{cls} shape={self.shape} nnz={self.nnz} "
+            f"sorted={self.sorted} dtype={self.data.dtype}>"
+        )
+
+
+def build_indptr(major_ids: np.ndarray, n_major: int) -> np.ndarray:
+    """Pointer array from (unsorted-count) major ids via bincount."""
+    counts = np.bincount(major_ids, minlength=n_major)
+    indptr = np.zeros(n_major + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr

@@ -1,0 +1,128 @@
+"""Conversions among COO, CSC, CSR and scipy.sparse.
+
+Conversions are O(nnz) (bincount + stable sort) and always produce
+sorted compressed output.  ``scipy`` interop exists so tests can check
+every kernel against an independent compiled implementation, and so the
+"MKL baseline" (the off-the-shelf 2-way ``+``) can be driven through
+scipy, mirroring the paper's use of ``mkl_sparse_d_add``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def coo_to_csc(coo: COOMatrix, *, sum_duplicates: bool = True) -> CSCMatrix:
+    """COO -> CSC (duplicates summed by default)."""
+    return CSCMatrix.from_arrays(
+        coo.shape, coo.rows, coo.cols, coo.vals, sum_duplicates=sum_duplicates
+    )
+
+
+def coo_to_csr(coo: COOMatrix, *, sum_duplicates: bool = True) -> CSRMatrix:
+    """COO -> CSR (duplicates summed by default)."""
+    return CSRMatrix.from_arrays(
+        coo.shape, coo.rows, coo.cols, coo.vals, sum_duplicates=sum_duplicates
+    )
+
+
+def csc_to_coo(csc: CSCMatrix) -> COOMatrix:
+    """CSC -> COO (no duplicates by construction)."""
+    cols = np.repeat(
+        np.arange(csc.shape[1], dtype=np.int64), np.diff(csc.indptr)
+    )
+    return COOMatrix(csc.shape, csc.indices.copy(), cols, csc.data.copy())
+
+
+def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
+    """CSR -> COO (no duplicates by construction)."""
+    rows = np.repeat(
+        np.arange(csr.shape[0], dtype=np.int64), np.diff(csr.indptr)
+    )
+    return COOMatrix(csr.shape, rows, csr.indices.copy(), csr.data.copy())
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    """Transpose the storage axis: CSC -> CSR of the *same* matrix."""
+    coo = csc_to_coo(csc)
+    return CSRMatrix.from_arrays(
+        coo.shape, coo.rows, coo.cols, coo.vals, sum_duplicates=False
+    )
+
+
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    """CSR -> CSC of the same matrix."""
+    coo = csr_to_coo(csr)
+    return CSCMatrix.from_arrays(
+        coo.shape, coo.rows, coo.cols, coo.vals, sum_duplicates=False
+    )
+
+
+def transpose_csc(csc: CSCMatrix) -> CSCMatrix:
+    """The transpose ``A.T`` as a CSC matrix (swap row/col roles)."""
+    coo = csc_to_coo(csc)
+    return CSCMatrix.from_arrays(
+        (csc.shape[1], csc.shape[0]), coo.cols, coo.rows, coo.vals,
+        sum_duplicates=False,
+    )
+
+
+def to_scipy(mat) -> "sp.spmatrix":
+    """Convert any of our formats to the equivalent scipy.sparse matrix."""
+    if isinstance(mat, CSCMatrix):
+        out = sp.csc_matrix(
+            (mat.data, mat.indices, mat.indptr), shape=mat.shape, copy=True
+        )
+        if not mat.sorted:
+            out.sort_indices()
+        return out
+    if isinstance(mat, CSRMatrix):
+        out = sp.csr_matrix(
+            (mat.data, mat.indices, mat.indptr), shape=mat.shape, copy=True
+        )
+        if not mat.sorted:
+            out.sort_indices()
+        return out
+    if isinstance(mat, COOMatrix):
+        return sp.coo_matrix(
+            (mat.vals, (mat.rows, mat.cols)), shape=mat.shape
+        )
+    raise TypeError(f"unsupported matrix type {type(mat)!r}")
+
+
+def from_scipy(mat: "sp.spmatrix", fmt: str = "csc"):
+    """Convert a scipy.sparse matrix into one of our formats.
+
+    ``fmt`` is ``"csc"``, ``"csr"`` or ``"coo"``.
+    """
+    if fmt == "csc":
+        s = sp.csc_matrix(mat)
+        s.sort_indices()
+        s.sum_duplicates()
+        return CSCMatrix(
+            s.shape,
+            s.indptr.astype(np.int64),
+            s.indices.astype(np.int64),
+            s.data.astype(np.float64),
+            sorted=True,
+        )
+    if fmt == "csr":
+        s = sp.csr_matrix(mat)
+        s.sort_indices()
+        s.sum_duplicates()
+        return CSRMatrix(
+            s.shape,
+            s.indptr.astype(np.int64),
+            s.indices.astype(np.int64),
+            s.data.astype(np.float64),
+            sorted=True,
+        )
+    if fmt == "coo":
+        s = sp.coo_matrix(mat)
+        return COOMatrix(s.shape, s.row, s.col, s.data)
+    raise ValueError(f"unknown format {fmt!r}")

@@ -1,0 +1,74 @@
+"""Coordinate (triplet) sparse format.
+
+Used by the matrix generators (R-MAT emits edge triplets) and as the
+interchange format.  The paper points out that parallelizing SpKAdd over
+COO inputs is *not* trivial (the tuple lists must be partitioned among
+threads), which is one of its arguments for column-compressed inputs; we
+keep COO for construction only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.formats.compressed import DEFAULT_INDEX_DTYPE, DEFAULT_VALUE_DTYPE
+
+
+@dataclass
+class COOMatrix:
+    """Triplet-format sparse matrix: parallel (rows, cols, vals) arrays.
+
+    Duplicates are allowed until :meth:`sum_duplicates` or a conversion
+    to a compressed format collapses them.
+    """
+
+    shape: Tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    _: dataclass = field(default=None, repr=False, compare=False)
+
+    def __init__(self, shape, rows, cols, vals) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.rows = np.asarray(rows, dtype=DEFAULT_INDEX_DTYPE)
+        self.cols = np.asarray(cols, dtype=DEFAULT_INDEX_DTYPE)
+        self.vals = np.asarray(vals, dtype=DEFAULT_VALUE_DTYPE)
+        if not (self.rows.shape == self.cols.shape == self.vals.shape):
+            raise ValueError("rows, cols, vals must be parallel 1-D arrays")
+        if self.rows.size:
+            if self.rows.min() < 0 or int(self.rows.max()) >= self.shape[0]:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or int(self.cols.max()) >= self.shape[1]:
+                raise ValueError("col index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Stored triplet count (duplicates counted individually)."""
+        return int(self.rows.shape[0])
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Collapse duplicate coordinates by summation; returns new COO."""
+        if self.nnz == 0:
+            return COOMatrix(self.shape, self.rows, self.cols, self.vals)
+        order = np.lexsort((self.rows, self.cols))
+        r, c, v = self.rows[order], self.cols[order], self.vals[order]
+        new = np.empty(r.size, dtype=bool)
+        new[0] = True
+        np.logical_or(r[1:] != r[:-1], c[1:] != c[:-1], out=new[1:])
+        group = np.flatnonzero(new)
+        return COOMatrix(
+            self.shape, r[group], c[group], np.add.reduceat(v, group)
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.vals.dtype)
+        np.add.at(out, (self.rows, self.cols), self.vals)
+        return out
+
+    def copy(self) -> "COOMatrix":
+        return COOMatrix(
+            self.shape, self.rows.copy(), self.cols.copy(), self.vals.copy()
+        )

@@ -1,0 +1,274 @@
+"""Compressed Sparse Column matrices — the paper's working format.
+
+A CSC matrix stores its nonzeros column by column: the ``j``-th column is
+the contiguous slice ``indices[indptr[j]:indptr[j+1]]`` of row ids with
+parallel values.  All SpKAdd kernels in :mod:`repro.core` consume and
+produce this class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.formats.compressed import (
+    DEFAULT_INDEX_DTYPE,
+    DEFAULT_VALUE_DTYPE,
+    CompressedBase,
+    build_indptr,
+)
+
+
+class CSCMatrix(CompressedBase):
+    """Sparse matrix in compressed-sparse-column layout.
+
+    Construction goes through :meth:`from_arrays` (triplets),
+    :meth:`from_columns` (per-column lists), or the converters in
+    :mod:`repro.formats.convert`.
+    """
+
+    _major_axis = 1  # columns are the compressed/major axis
+
+    # -------------------------------------------------------- constructors
+    @classmethod
+    def from_arrays(
+        cls,
+        shape: Tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        *,
+        sum_duplicates: bool = True,
+        index_dtype=DEFAULT_INDEX_DTYPE,
+        value_dtype=DEFAULT_VALUE_DTYPE,
+    ) -> "CSCMatrix":
+        """Build from COO-style triplet arrays.
+
+        Duplicate ``(row, col)`` entries are summed when
+        ``sum_duplicates`` (the FEM-assembly convention); otherwise they
+        must not occur.
+        """
+        m, n = int(shape[0]), int(shape[1])
+        rows = np.asarray(rows, dtype=index_dtype)
+        cols = np.asarray(cols, dtype=index_dtype)
+        vals = np.asarray(vals, dtype=value_dtype)
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError("rows, cols, vals must be parallel 1-D arrays")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= m:
+                raise ValueError("row index out of range")
+            if cols.min() < 0 or cols.max() >= n:
+                raise ValueError("col index out of range")
+        order = np.lexsort((rows, cols))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if sum_duplicates and rows.size:
+            key_new = np.empty(rows.size, dtype=bool)
+            key_new[0] = True
+            np.logical_or(rows[1:] != rows[:-1], cols[1:] != cols[:-1], out=key_new[1:])
+            group = np.flatnonzero(key_new)
+            vals = np.add.reduceat(vals, group)
+            rows, cols = rows[group], cols[group]
+        indptr = build_indptr(cols, n)
+        return cls(
+            (m, n),
+            indptr,
+            np.ascontiguousarray(rows),
+            np.ascontiguousarray(vals),
+            sorted=True,
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        shape: Tuple[int, int],
+        columns: Iterable[Tuple[np.ndarray, np.ndarray]],
+        *,
+        sorted: bool = True,
+        index_dtype=DEFAULT_INDEX_DTYPE,
+        value_dtype=DEFAULT_VALUE_DTYPE,
+    ) -> "CSCMatrix":
+        """Assemble from an iterable of per-column ``(rows, vals)`` pairs.
+
+        This is how the k-way kernels emit their output: one column at a
+        time, already deduplicated.
+        """
+        m, n = int(shape[0]), int(shape[1])
+        cols = list(columns)
+        if len(cols) != n:
+            raise ValueError(f"expected {n} columns, got {len(cols)}")
+        counts = np.fromiter((len(r) for r, _ in cols), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=index_dtype)
+        data = np.empty(total, dtype=value_dtype)
+        for j, (r, v) in enumerate(cols):
+            lo, hi = indptr[j], indptr[j + 1]
+            indices[lo:hi] = r
+            data[lo:hi] = v
+        return cls((m, n), indptr, indices, data, sorted=sorted)
+
+    @classmethod
+    def zeros(
+        cls,
+        shape: Tuple[int, int],
+        *,
+        index_dtype=DEFAULT_INDEX_DTYPE,
+        value_dtype=DEFAULT_VALUE_DTYPE,
+    ) -> "CSCMatrix":
+        """An all-zero matrix (identity element of SpKAdd)."""
+        m, n = shape
+        return cls(
+            (m, n),
+            np.zeros(n + 1, dtype=np.int64),
+            np.empty(0, dtype=index_dtype),
+            np.empty(0, dtype=value_dtype),
+            sorted=True,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        """Compress a dense 2-D array (test helper)."""
+        dense = np.asarray(dense)
+        rows, cols = np.nonzero(dense)
+        return cls.from_arrays(dense.shape, rows, cols, dense[rows, cols])
+
+    # -------------------------------------------------------------- access
+    def col(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(row_ids, values)`` view of column ``j``."""
+        return self.major_slice(j)
+
+    def col_nnz(self) -> np.ndarray:
+        """nnz of every column — the per-column work weights."""
+        return self.major_nnz()
+
+    def col_block(self, j0: int, j1: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy view of the column block ``[j0, j1)``.
+
+        Returns ``(local_indptr, row_ids, values)``; see
+        :meth:`CompressedBase.major_range_slices`.
+        """
+        return self.major_range_slices(j0, j1)
+
+    def row_range_of_col(self, j: int, r0: int, r1: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Entries of column ``j`` with row index in ``[r0, r1)``.
+
+        For sorted columns this is the paper's binary-search row
+        partitioning used by the sliding-hash kernels (Algorithm 7
+        line 9 "partition rows equally (using binary searches)");
+        unsorted columns fall back to a mask.
+        """
+        rows, vals = self.col(j)
+        if self.sorted:
+            lo = int(np.searchsorted(rows, r0, side="left"))
+            hi = int(np.searchsorted(rows, r1, side="left"))
+            return rows[lo:hi], vals[lo:hi]
+        mask = (rows >= r0) & (rows < r1)
+        return rows[mask], vals[mask]
+
+    def to_dense(self) -> np.ndarray:
+        """Densify (test helper; O(m*n) memory)."""
+        m, n = self.shape
+        out = np.zeros((m, n), dtype=self.data.dtype)
+        cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        np.add.at(out, (self.indices, cols), self.data)
+        return out
+
+    def copy(self) -> "CSCMatrix":
+        return CSCMatrix(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.copy(),
+            sorted=self.sorted,
+            check=False,
+        )
+
+    # ----------------------------------------------------------- structure
+    def select_columns(self, j0: int, j1: int) -> "CSCMatrix":
+        """New matrix containing columns ``[j0, j1)`` (shape m x (j1-j0))."""
+        indptr, idx, dat = self.col_block(j0, j1)
+        return CSCMatrix(
+            (self.shape[0], j1 - j0),
+            indptr.copy(),
+            idx.copy(),
+            dat.copy(),
+            sorted=self.sorted,
+            check=False,
+        )
+
+    def col_view(self, j0: int, j1: int) -> "CSCMatrix":
+        """Zero-copy matrix over columns ``[j0, j1)``.
+
+        Shares ``indices``/``data`` buffers with ``self`` (the rebased
+        pointer array is the only allocation).  This is what the
+        thread-pool executor hands each worker: no data is copied when
+        columns are divided among threads.
+        """
+        lo = int(self.indptr[j0])
+        return CSCMatrix(
+            (self.shape[0], j1 - j0),
+            self.indptr[j0 : j1 + 1] - lo,
+            self.indices[lo : int(self.indptr[j1])],
+            self.data[lo : int(self.indptr[j1])],
+            sorted=self.sorted,
+            check=False,
+        )
+
+    def embed_columns(self, n_total: int, j_offset: int) -> "CSCMatrix":
+        """Place this matrix's columns at offset ``j_offset`` inside a wider
+        all-zero matrix with ``n_total`` columns.
+
+        This implements the paper's SpKAdd input construction: "we create
+        an m x n matrix and then split this matrix along the column to
+        create k m x n/k matrices" — each piece is then re-embedded so all
+        k addends share the full m x n shape.
+        """
+        m, n = self.shape
+        if j_offset < 0 or j_offset + n > n_total:
+            raise ValueError("embedded columns out of range")
+        indptr = np.zeros(n_total + 1, dtype=np.int64)
+        indptr[j_offset + 1 : j_offset + n + 1] = self.indptr[1:]
+        indptr[j_offset + n + 1 :] = self.indptr[-1]
+        return CSCMatrix(
+            (m, n_total),
+            indptr,
+            self.indices.copy(),
+            self.data.copy(),
+            sorted=self.sorted,
+            check=False,
+        )
+
+    def scaled(self, alpha: float) -> "CSCMatrix":
+        """Return ``alpha * self`` (same sparsity structure)."""
+        out = self.copy()
+        out.data *= alpha
+        return out
+
+    def drop_explicit_zeros(self, tol: float = 0.0) -> "CSCMatrix":
+        """Remove stored entries with ``|value| <= tol``.
+
+        SpKAdd can produce numerically cancelled entries; the paper keeps
+        them (nnz(B) counts structural nonzeros), so kernels do not call
+        this — it exists for the gradient-sparsification example.
+        """
+        keep = np.abs(self.data) > tol
+        cols = np.repeat(np.arange(self.shape[1], dtype=np.int64), np.diff(self.indptr))
+        return CSCMatrix(
+            self.shape,
+            build_indptr(cols[keep], self.shape[1]),
+            np.ascontiguousarray(self.indices[keep]),
+            np.ascontiguousarray(self.data[keep]),
+            sorted=self.sorted,
+            check=False,
+        )
+
+    def __eq__(self, other: object) -> bool:  # structural + numerical equality
+        from repro.formats.ops import matrices_equal
+
+        if not isinstance(other, CSCMatrix):
+            return NotImplemented
+        return matrices_equal(self, other)
+
+    __hash__ = None  # mutable container

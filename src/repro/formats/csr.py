@@ -1,0 +1,119 @@
+"""Compressed Sparse Row matrices.
+
+Row-major twin of :class:`~repro.formats.csc.CSCMatrix`.  The paper notes
+all SpKAdd algorithms apply unchanged to CSR (swap the roles of rows and
+columns); we use CSR mainly in the local SpGEMM substrate, where the
+row-wise Gustavson formulation wants row slices of the left operand.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.formats.compressed import (
+    DEFAULT_INDEX_DTYPE,
+    DEFAULT_VALUE_DTYPE,
+    CompressedBase,
+    build_indptr,
+)
+
+
+class CSRMatrix(CompressedBase):
+    """Sparse matrix in compressed-sparse-row layout."""
+
+    _major_axis = 0  # rows are the compressed/major axis
+
+    @classmethod
+    def from_arrays(
+        cls,
+        shape: Tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        *,
+        sum_duplicates: bool = True,
+        index_dtype=DEFAULT_INDEX_DTYPE,
+        value_dtype=DEFAULT_VALUE_DTYPE,
+    ) -> "CSRMatrix":
+        """Build from COO-style triplets (duplicates summed by default)."""
+        m, n = int(shape[0]), int(shape[1])
+        rows = np.asarray(rows, dtype=index_dtype)
+        cols = np.asarray(cols, dtype=index_dtype)
+        vals = np.asarray(vals, dtype=value_dtype)
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError("rows, cols, vals must be parallel 1-D arrays")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= m:
+                raise ValueError("row index out of range")
+            if cols.min() < 0 or cols.max() >= n:
+                raise ValueError("col index out of range")
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if sum_duplicates and rows.size:
+            key_new = np.empty(rows.size, dtype=bool)
+            key_new[0] = True
+            np.logical_or(rows[1:] != rows[:-1], cols[1:] != cols[:-1], out=key_new[1:])
+            group = np.flatnonzero(key_new)
+            vals = np.add.reduceat(vals, group)
+            rows, cols = rows[group], cols[group]
+        indptr = build_indptr(rows, m)
+        return cls(
+            (m, n),
+            indptr,
+            np.ascontiguousarray(cols),
+            np.ascontiguousarray(vals),
+            sorted=True,
+        )
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        m, n = shape
+        return cls(
+            (m, n),
+            np.zeros(m + 1, dtype=np.int64),
+            np.empty(0, dtype=DEFAULT_INDEX_DTYPE),
+            np.empty(0, dtype=DEFAULT_VALUE_DTYPE),
+            sorted=True,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = np.asarray(dense)
+        rows, cols = np.nonzero(dense)
+        return cls.from_arrays(dense.shape, rows, cols, dense[rows, cols])
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(col_ids, values)`` view of row ``i``."""
+        return self.major_slice(i)
+
+    def row_nnz(self) -> np.ndarray:
+        return self.major_nnz()
+
+    def to_dense(self) -> np.ndarray:
+        m, n = self.shape
+        out = np.zeros((m, n), dtype=self.data.dtype)
+        rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(self.indptr))
+        np.add.at(out, (rows, self.indices), self.data)
+        return out
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.copy(),
+            sorted=self.sorted,
+            check=False,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        from repro.formats.convert import csr_to_csc
+        from repro.formats.ops import matrices_equal
+
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return matrices_equal(csr_to_csc(self), csr_to_csc(other))
+
+    __hash__ = None

@@ -1,0 +1,81 @@
+"""Structural operations and independent reference computations.
+
+``sum_with_scipy`` is the ground-truth oracle every SpKAdd kernel is
+tested against: an independent, compiled implementation of the same
+mathematical reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+from repro.formats.convert import from_scipy, to_scipy
+
+
+def matrices_equal(
+    a: CSCMatrix,
+    b: CSCMatrix,
+    *,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+    structural: bool = False,
+) -> bool:
+    """Compare two CSC matrices after canonicalization.
+
+    Canonical form sorts each column by row index; numerically cancelled
+    explicit zeros still count as stored entries (matching the paper's
+    structural nnz accounting), so two matrices differing only in
+    explicit zeros are *not* equal unless ``structural`` comparison is
+    what you want — in that case drop explicit zeros first.
+    """
+    if a.shape != b.shape:
+        return False
+    ca, cb = a, b
+    if not ca.sorted:
+        ca = ca.copy()
+        ca.sort_indices()
+    if not cb.sorted:
+        cb = cb.copy()
+        cb.sort_indices()
+    if ca.nnz != cb.nnz:
+        return False
+    if not np.array_equal(ca.indptr, cb.indptr):
+        return False
+    if not np.array_equal(ca.indices, cb.indices):
+        return False
+    if structural:
+        return True
+    return bool(np.allclose(ca.data, cb.data, rtol=rtol, atol=atol))
+
+
+def sum_with_scipy(mats: Sequence[CSCMatrix]) -> CSCMatrix:
+    """Ground-truth SpKAdd via scipy's compiled pairwise addition.
+
+    Note scipy (like MKL) drops nothing: ``+`` keeps explicit zeros
+    produced by cancellation out of its result only when they were never
+    stored; summed cancellations *are* pruned by scipy.  Our kernels keep
+    them (structural semantics), so tests compare against this oracle
+    with explicit zeros removed from both sides.
+    """
+    acc = to_scipy(mats[0]).tocsc()
+    for m in mats[1:]:
+        acc = acc + to_scipy(m).tocsc()
+    acc.sort_indices()
+    return from_scipy(acc, "csc")
+
+
+def canonicalize(mat: CSCMatrix) -> CSCMatrix:
+    """Sorted-column copy of ``mat`` (does not drop explicit zeros)."""
+    out = mat.copy()
+    out.sort_indices()
+    return out
+
+
+def compression_factor(inputs_nnz: int, output_nnz: int) -> float:
+    """The paper's cf = sum_i nnz(A_i) / nnz(B); cf >= 1 by definition."""
+    if output_nnz == 0:
+        return float("inf") if inputs_nnz > 0 else 1.0
+    return inputs_nnz / output_nnz

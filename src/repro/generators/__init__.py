@@ -1,0 +1,52 @@
+"""Dataset and workload generators.
+
+The paper evaluates on two synthetic families produced by the R-MAT
+recursive generator (Section IV-A):
+
+* **ER** — Erdős–Rényi uniform matrices, R-MAT seeds
+  ``a=b=c=d=0.25``;
+* **RMAT** — power-law (Graph500) matrices, seeds
+  ``a=0.57, b=c=0.19, d=0.05``;
+
+plus real protein-similarity networks (Eukarya, Isolates, Metaclust50)
+that are unavailable offline and far beyond single-node scale — those
+are replaced by statistical surrogates (:mod:`~repro.generators.protein`)
+matching their documented shape/density/compression statistics.
+
+The paper's SpKAdd inputs are built by generating one wide matrix and
+splitting it along columns into k equal pieces
+(:func:`~repro.generators.splitter.split_columns`); the convenience
+collection builders below do generate+split in one call.
+"""
+
+from repro.generators.er import erdos_renyi, erdos_renyi_collection
+from repro.generators.rmat import rmat, rmat_collection, RMAT_GRAPH500, RMAT_ER
+from repro.generators.splitter import split_columns
+from repro.generators.protein import (
+    DATASETS,
+    ProteinDataset,
+    protein_collection,
+    spgemm_intermediates_surrogate,
+)
+from repro.generators.workloads import (
+    fem_element_batches,
+    gradient_update_collection,
+    graph_stream_batches,
+)
+
+__all__ = [
+    "erdos_renyi",
+    "erdos_renyi_collection",
+    "rmat",
+    "rmat_collection",
+    "RMAT_GRAPH500",
+    "RMAT_ER",
+    "split_columns",
+    "DATASETS",
+    "ProteinDataset",
+    "protein_collection",
+    "spgemm_intermediates_surrogate",
+    "fem_element_batches",
+    "gradient_update_collection",
+    "graph_stream_batches",
+]

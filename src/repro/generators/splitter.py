@@ -1,0 +1,29 @@
+"""The paper's SpKAdd input construction: split a wide matrix by columns.
+
+Section IV-A: "we create an m x n matrix and then split this matrix
+along the column to create k [m x n/k] matrices".  Columns
+``[i*w, (i+1)*w)`` of the wide matrix become addend i; column j of the
+output sum then accumulates column ``i*w + j`` from every piece, which
+is what creates row collisions across addends.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.formats.csc import CSCMatrix
+
+
+def split_columns(wide: CSCMatrix, k: int) -> List[CSCMatrix]:
+    """Split an m x (w*k) matrix into k m x w column blocks.
+
+    Raises if the column count is not divisible by k (the paper always
+    uses exact powers of two).
+    """
+    m, total = wide.shape
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if total % k:
+        raise ValueError(f"cannot split {total} columns into {k} equal pieces")
+    w = total // k
+    return [wide.select_columns(i * w, (i + 1) * w) for i in range(k)]

@@ -1,0 +1,176 @@
+"""Application workload generators for the motivating use cases.
+
+The paper's introduction motivates SpKAdd with three applications:
+
+1. **Sparse allreduce in deep learning** — gradient sparsification:
+   each of k workers contributes the top fraction of its (mini-batch)
+   gradient matrix; the reduction sums k sparse matrices
+   (:func:`gradient_update_collection`).
+2. **Distributed SpGEMM** — intermediate products `A_i B_i` (built in
+   :mod:`repro.distributed`; surrogate statistics in
+   :mod:`repro.generators.protein`).
+3. **Finite-element assembly** — local element stiffness matrices
+   scattered into the global matrix (:func:`fem_element_batches`); the
+   paper argues this classic "hard to parallelize" reduction is exactly
+   SpKAdd.
+4. **Streaming graph accumulation** — batches of timestamped edges
+   accumulated into a running graph (:func:`graph_stream_batches`),
+   the workload for the streaming extension.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+from repro.util.rng import default_rng, spawn_rngs
+
+
+def gradient_update_collection(
+    *,
+    rows: int,
+    cols: int,
+    k: int,
+    density: float = 0.01,
+    correlated: float = 0.5,
+    seed=None,
+) -> List[CSCMatrix]:
+    """k sparsified gradient matrices from simulated workers.
+
+    Each worker keeps the top-``density`` fraction of a synthetic dense
+    gradient for one weight matrix of shape (rows, cols).  Workers see
+    correlated data (same model, different mini-batches), so their
+    top-k supports overlap: a fraction ``correlated`` of each worker's
+    kept entries comes from a shared "important coordinates" pool — this
+    is what gives the reduction a compression factor well above 1, the
+    regime where k-way SpKAdd beats pairwise reduction.
+    """
+    if not 0 < density <= 1:
+        raise ValueError("density must be in (0, 1]")
+    if not 0 <= correlated <= 1:
+        raise ValueError("correlated must be in [0, 1]")
+    rng = default_rng(seed)
+    total = rows * cols
+    keep = max(int(total * density), 1)
+    n_shared = int(keep * correlated)
+    shared_pool = rng.choice(total, size=max(2 * n_shared, 1), replace=False)
+    out: List[CSCMatrix] = []
+    for wrng in spawn_rngs(seed, k):
+        shared = (
+            wrng.choice(shared_pool, size=n_shared, replace=False)
+            if n_shared
+            else np.empty(0, dtype=np.int64)
+        )
+        private = wrng.integers(0, total, keep - n_shared)
+        flat = np.concatenate([shared, private]).astype(np.int64)
+        vals = wrng.normal(scale=1e-2, size=flat.shape[0])
+        out.append(
+            CSCMatrix.from_arrays(
+                (rows, cols), flat // cols, flat % cols, vals, sum_duplicates=True
+            )
+        )
+    return out
+
+
+def fem_element_batches(
+    *,
+    nx: int,
+    ny: int,
+    batches: int,
+    seed=None,
+) -> Tuple[List[CSCMatrix], int]:
+    """Local stiffness contributions of a 2-D Q1 grid, in k batches.
+
+    Builds the standard bilinear-quad Laplace stiffness for an
+    ``nx x ny`` element grid ((nx+1)(ny+1) nodes).  Elements are dealt
+    round-robin into ``batches`` groups; each group's scattered 4x4
+    element matrices form one sparse addend.  Summing the k addends is
+    the FEM assembly the paper cites [6].
+
+    Returns ``(addends, n_nodes)``; the assembled global stiffness is
+    ``spkadd(addends)`` and equals the classic sequential assembly.
+    """
+    if nx < 1 or ny < 1 or batches < 1:
+        raise ValueError("nx, ny, batches must be positive")
+    n_nodes = (nx + 1) * (ny + 1)
+    # Reference Q1 Laplace element stiffness on the unit square.
+    ke = (1.0 / 6.0) * np.array(
+        [
+            [4.0, -1.0, -2.0, -1.0],
+            [-1.0, 4.0, -1.0, -2.0],
+            [-2.0, -1.0, 4.0, -1.0],
+            [-1.0, -2.0, -1.0, 4.0],
+        ]
+    )
+    rng = default_rng(seed)
+    elements = []
+    for ey in range(ny):
+        for ex in range(nx):
+            n0 = ey * (nx + 1) + ex
+            elements.append((n0, n0 + 1, n0 + nx + 2, n0 + nx + 1))
+    order = rng.permutation(len(elements))
+    out: List[CSCMatrix] = []
+    for b in range(batches):
+        sel = order[b::batches]
+        rows_l, cols_l, vals_l = [], [], []
+        for e in sel:
+            nodes = np.asarray(elements[e], dtype=np.int64)
+            # Random positive conductivity per element.
+            coef = 0.5 + rng.random()
+            rr, cc = np.meshgrid(nodes, nodes, indexing="ij")
+            rows_l.append(rr.ravel())
+            cols_l.append(cc.ravel())
+            vals_l.append((coef * ke).ravel())
+        if rows_l:
+            out.append(
+                CSCMatrix.from_arrays(
+                    (n_nodes, n_nodes),
+                    np.concatenate(rows_l),
+                    np.concatenate(cols_l),
+                    np.concatenate(vals_l),
+                    sum_duplicates=True,
+                )
+            )
+        else:
+            out.append(CSCMatrix.zeros((n_nodes, n_nodes)))
+    return out, n_nodes
+
+
+def graph_stream_batches(
+    *,
+    n_vertices: int,
+    batches: int,
+    edges_per_batch: int,
+    skew: float = 0.0,
+    seed=None,
+) -> List[CSCMatrix]:
+    """Timestamped edge batches of a streaming graph.
+
+    Each batch is the adjacency matrix of the edges that arrived in one
+    window (edge weight = occurrence count).  ``skew`` > 0 draws
+    endpoints from a Zipf-like distribution (hubs recur across batches,
+    raising the compression factor of the accumulation).
+    """
+    rng = default_rng(seed)
+    out: List[CSCMatrix] = []
+    for _ in range(batches):
+        if skew > 0:
+            u = rng.random(edges_per_batch)
+            v = rng.random(edges_per_batch)
+            src = (n_vertices * u ** (1.0 + skew)).astype(np.int64) % n_vertices
+            dst = (n_vertices * v ** (1.0 + skew)).astype(np.int64) % n_vertices
+        else:
+            src = rng.integers(0, n_vertices, edges_per_batch)
+            dst = rng.integers(0, n_vertices, edges_per_batch)
+        out.append(
+            CSCMatrix.from_arrays(
+                (n_vertices, n_vertices),
+                src,
+                dst,
+                np.ones(edges_per_batch),
+                sum_duplicates=True,
+            )
+        )
+    return out

@@ -1,0 +1,48 @@
+"""Simulated hardware substrate.
+
+The paper's performance results are driven by three machine properties:
+cycle cost of data-structure operations, cache behaviour of randomly
+accessed tables (L1 / L2 / LLC sizing, Fig 4 and Table V), and shared
+memory bandwidth (scaling saturation, Fig 3).  This subpackage models
+all three:
+
+* :mod:`~repro.machine.spec` — :class:`MachineSpec` with the paper's
+  Table II platforms and proportional ``.scaled()`` shrinking;
+* :mod:`~repro.machine.cache` — an analytic random-access miss model
+  plus trace-driven direct-mapped and set-associative LRU simulators;
+* :mod:`~repro.machine.costmodel` — converts measured
+  :class:`~repro.core.stats.KernelStats` into simulated seconds for a
+  machine/thread-count, with per-algorithm constants calibrated against
+  the paper's Table III anchor cells;
+* :mod:`~repro.machine.tracer` — replays kernels' hash-table access
+  traces through the cache simulator (Table V).
+"""
+
+from repro.machine.spec import (
+    AMD_EPYC_7551,
+    CORI_KNL,
+    INTEL_SKYLAKE_8160,
+    MachineSpec,
+    PLATFORMS,
+)
+from repro.machine.cache import (
+    LRUCache,
+    analytic_miss_fraction,
+    direct_mapped_misses,
+)
+from repro.machine.costmodel import CostModel, SimulatedTime
+from repro.machine.tracer import replay_table_traces
+
+__all__ = [
+    "AMD_EPYC_7551",
+    "CORI_KNL",
+    "INTEL_SKYLAKE_8160",
+    "MachineSpec",
+    "PLATFORMS",
+    "LRUCache",
+    "analytic_miss_fraction",
+    "direct_mapped_misses",
+    "CostModel",
+    "SimulatedTime",
+    "replay_table_traces",
+]

@@ -1,0 +1,133 @@
+"""Cache models: analytic miss fractions and trace-driven simulators.
+
+Three fidelity levels:
+
+* :func:`analytic_miss_fraction` — closed-form steady-state miss
+  probability of uniform random accesses over a working set vs an LRU
+  cache; used by the cost model (fast, applied to the table-traffic
+  histograms every kernel records).
+* :func:`direct_mapped_misses` — exact, fully vectorized simulation of
+  a direct-mapped cache over an address trace.
+* :class:`LRUCache` — exact set-associative LRU simulation (Python
+  loop; for validation traces and Table V at reduced scale, where
+  traces are ~10^6 accesses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def analytic_miss_fraction(working_set_bytes: float, cache_bytes: float) -> float:
+    """Steady-state miss probability of uniform random single-line
+    accesses over ``working_set_bytes`` with an LRU cache of
+    ``cache_bytes``.
+
+    With uniform random access, the cache holds an arbitrary
+    ``cache/working`` fraction of the set, so
+    ``P(miss) = max(0, 1 - cache/working)``.  Cold (compulsory) misses
+    are charged separately by the caller.
+    """
+    if working_set_bytes <= 0:
+        return 0.0
+    if cache_bytes <= 0:
+        return 1.0
+    return max(0.0, 1.0 - cache_bytes / working_set_bytes)
+
+
+def direct_mapped_misses(line_ids: np.ndarray, n_sets: int) -> int:
+    """Exact miss count of a direct-mapped cache with ``n_sets`` lines.
+
+    ``line_ids`` is the sequence of accessed cache-line ids.  A miss
+    occurs whenever the accessed line differs from the previous
+    occupant of its set.  Vectorized: stable-sort accesses by set, then
+    count occupant changes within each set's subsequence.
+    """
+    line_ids = np.asarray(line_ids, dtype=np.int64)
+    if line_ids.size == 0:
+        return 0
+    sets = line_ids % n_sets
+    order = np.argsort(sets, kind="stable")  # per-set access order kept
+    s_sorted = sets[order]
+    l_sorted = line_ids[order]
+    first = np.empty(line_ids.size, dtype=bool)
+    first[0] = True
+    np.not_equal(s_sorted[1:], s_sorted[:-1], out=first[1:])
+    changed = np.empty(line_ids.size, dtype=bool)
+    changed[0] = True
+    np.not_equal(l_sorted[1:], l_sorted[:-1], out=changed[1:])
+    return int(np.count_nonzero(first | changed))
+
+
+class LRUCache:
+    """Exact set-associative LRU cache simulator.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total capacity.
+    line_bytes:
+        Cache line size.
+    ways:
+        Associativity (1 = direct mapped, ``capacity/line`` = fully
+        associative).
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int = 64, ways: int = 8):
+        n_lines = max(capacity_bytes // line_bytes, 1)
+        ways = max(min(ways, n_lines), 1)
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = max(n_lines // ways, 1)
+        # tags[set, way] = line id (-1 empty); lru[set, way] = last use
+        self.tags = np.full((self.n_sets, self.ways), -1, dtype=np.int64)
+        self.lru = np.zeros((self.n_sets, self.ways), dtype=np.int64)
+        self.clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.n_sets * self.ways * self.line_bytes
+
+    def access_lines(self, line_ids: np.ndarray) -> int:
+        """Run a sequence of line accesses; returns misses added."""
+        line_ids = np.asarray(line_ids, dtype=np.int64)
+        tags, lru = self.tags, self.lru
+        n_sets = self.n_sets
+        before = self.misses
+        clock = self.clock
+        for line in line_ids.tolist():
+            s = line % n_sets
+            clock += 1
+            row = tags[s]
+            hit = np.flatnonzero(row == line)
+            if hit.size:
+                self.hits += 1
+                lru[s, hit[0]] = clock
+            else:
+                self.misses += 1
+                victim = int(np.argmin(lru[s]))
+                tags[s, victim] = line
+                lru[s, victim] = clock
+        self.clock = clock
+        return self.misses - before
+
+    def access_bytes(self, addresses: np.ndarray) -> int:
+        """Byte-address convenience wrapper around :meth:`access_lines`."""
+        addrs = np.asarray(addresses, dtype=np.int64) // self.line_bytes
+        return self.access_lines(addrs)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+def expected_cold_misses(table_bytes: float, line_bytes: int, instances: float) -> float:
+    """Compulsory misses of filling ``instances`` tables of
+    ``table_bytes`` each (one per line)."""
+    if table_bytes <= 0 or instances <= 0:
+        return 0.0
+    return float(np.ceil(table_bytes / line_bytes) * instances)

@@ -1,0 +1,139 @@
+"""Machine specifications (paper Table II) and scaling.
+
+``MachineSpec`` carries the cache hierarchy, core/thread layout and the
+latency/bandwidth constants the cost model needs.  ``scaled(s)``
+divides every capacity by ``s`` while keeping latencies and clock: when
+an experiment shrinks its matrices by ``s``, running it against the
+scaled machine preserves every dimensionless ratio the paper's
+crossovers depend on (table bytes / LLC bytes, SPA bytes / LLC bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A shared-memory evaluation platform.
+
+    Capacities in bytes; clock in Hz; bandwidth in bytes/second.
+    Latencies are per-access cycle costs of the smallest level that the
+    accessed working set fits in (the cost model interpolates for
+    spilling sets).
+    """
+
+    name: str
+    clock_hz: float
+    l1_bytes: int          # per-core L1D
+    l2_bytes: int          # per-core L2 (0 = none modelled)
+    llc_bytes: int         # shared last-level cache (total)
+    sockets: int
+    cores_per_socket: int
+    mem_bytes: int
+    mem_bw_bytes_s: float  # aggregate DRAM bandwidth
+    #: bandwidth one core can draw (0 -> aggregate/12); memory-bound
+    #: kernels scale with min(T * core_bw, aggregate_bw)
+    mem_bw_core_bytes_s: float = 0.0
+    cacheline_bytes: int = 64
+    lat_l1_cycles: float = 4.0
+    lat_l2_cycles: float = 14.0
+    lat_llc_cycles: float = 48.0
+    lat_mem_cycles: float = 220.0
+    #: memory-level parallelism: how many outstanding misses a core
+    #: sustains; the *throughput* cost of a miss is latency/mlp
+    mlp: float = 8.0
+    #: MLP for dependent random accesses (hash-probe chains, SPA
+    #: scatter): linear probing serializes on the comparison result, so
+    #: far fewer misses overlap than for streaming access
+    mlp_random: float = 3.0
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def core_bw(self) -> float:
+        """Effective single-core DRAM bandwidth (bytes/s)."""
+        return self.mem_bw_core_bytes_s or self.mem_bw_bytes_s / 12.0
+
+    def bw_at(self, threads: int) -> float:
+        """Aggregate bandwidth reachable by ``threads`` cores."""
+        return min(max(threads, 1) * self.core_bw, self.mem_bw_bytes_s)
+
+    def scaled(self, s: float) -> "MachineSpec":
+        """Capacity-scaled copy: caches and memory divided by ``s``;
+        clock, latencies, bandwidth and core counts unchanged.
+
+        Running a 1/s-size problem against the scaled machine preserves
+        all capacity ratios (table bytes / LLC bytes etc.), and because
+        bandwidth and clock are untouched, every time component of the
+        cost model shrinks by the *same* work factor — so simulated
+        times extrapolate back to paper scale with one multiplier.
+        """
+        if s <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            name=f"{self.name}/÷{s:g}",
+            l1_bytes=max(int(self.l1_bytes / s), 64),
+            l2_bytes=int(self.l2_bytes / s),
+            llc_bytes=max(int(self.llc_bytes / s), 1024),
+            mem_bytes=max(int(self.mem_bytes / s), 1 << 20),
+        )
+
+    def llc_share_bytes(self, threads: int) -> int:
+        """LLC budget per thread when ``threads`` share it — the
+        sliding-hash sizing rule M/(b*T) uses this."""
+        return self.llc_bytes // max(threads, 1)
+
+
+#: Intel Skylake 8160 node (paper Table II): 2x24 cores @ 2.1 GHz,
+#: 32KB L1 / 1MB L2 per core, 32MB shared LLC, 256 GB DDR4.
+INTEL_SKYLAKE_8160 = MachineSpec(
+    name="Intel Skylake 8160",
+    clock_hz=2.1e9,
+    l1_bytes=32 * 1024,
+    l2_bytes=1024 * 1024,
+    llc_bytes=32 * 1024 * 1024,
+    sockets=2,
+    cores_per_socket=24,
+    mem_bytes=256 << 30,
+    mem_bw_bytes_s=200e9,
+)
+
+#: AMD EPYC 7551 node: 2x32 cores @ 2.0 GHz, 32KB L1 / 512KB L2,
+#: 8MB LLC (per-CCX capacity as reported in Table II), 128 GB.
+AMD_EPYC_7551 = MachineSpec(
+    name="AMD EPYC 7551",
+    clock_hz=2.0e9,
+    l1_bytes=32 * 1024,
+    l2_bytes=512 * 1024,
+    llc_bytes=8 * 1024 * 1024,
+    sockets=2,
+    cores_per_socket=32,
+    mem_bytes=128 << 30,
+    mem_bw_bytes_s=170e9,
+)
+
+#: Cori KNL node: 68 cores @ 1.4 GHz, 32KB L1, no conventional L2 in
+#: Table II, 34MB aggregate (MCDRAM-cached) last level, 108 GB.
+CORI_KNL = MachineSpec(
+    name="Cori KNL",
+    clock_hz=1.4e9,
+    l1_bytes=32 * 1024,
+    l2_bytes=0,
+    llc_bytes=34 * 1024 * 1024,
+    sockets=1,
+    cores_per_socket=68,
+    mem_bytes=108 << 30,
+    mem_bw_bytes_s=400e9,
+    lat_llc_cycles=80.0,
+)
+
+PLATFORMS: Dict[str, MachineSpec] = {
+    "skylake": INTEL_SKYLAKE_8160,
+    "epyc": AMD_EPYC_7551,
+    "knl": CORI_KNL,
+}

@@ -1,0 +1,40 @@
+"""Shared-memory parallel substrate.
+
+The paper parallelizes SpKAdd over output columns with *no* thread
+synchronization: each thread owns a private accumulator (heap / SPA /
+hash table) and a disjoint set of columns.  This subpackage provides
+
+* :mod:`~repro.parallel.partition` — row/column partitioning primitives
+  (equal ranges, prefix-sum weighted ranges);
+* :mod:`~repro.parallel.scheduler` — static and dynamic (by-nnz)
+  column schedules, the paper's load-balancing rule (Section III-A:
+  input nnz weights the symbolic phase, output nnz the addition phase);
+* :mod:`~repro.parallel.executor` — a real thread-pool executor over
+  column blocks, and a *simulated* executor that turns per-column work
+  vectors into per-thread makespans for the scaling study (Fig 3).
+"""
+
+from repro.parallel.partition import (
+    row_partition_bounds,
+    split_even,
+    split_weighted,
+)
+from repro.parallel.scheduler import (
+    Schedule,
+    dynamic_schedule,
+    schedule_makespan,
+    static_schedule,
+)
+from repro.parallel.executor import parallel_spkadd, simulate_parallel_time
+
+__all__ = [
+    "row_partition_bounds",
+    "split_even",
+    "split_weighted",
+    "Schedule",
+    "dynamic_schedule",
+    "schedule_makespan",
+    "static_schedule",
+    "parallel_spkadd",
+    "simulate_parallel_time",
+]

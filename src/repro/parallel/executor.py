@@ -1,0 +1,165 @@
+"""Executors: real thread-pool column parallelism + simulated scaling.
+
+``parallel_spkadd`` runs any SpKAdd method over column chunks on a
+``ThreadPoolExecutor``.  Each worker receives zero-copy column views of
+every addend (CSC keeps columns contiguous) and a private accumulator —
+the paper's synchronization-free scheme.  NumPy kernels release the GIL
+for large array operations, so real (if modest, in Python) speedups are
+observed; the *shape* of scaling behaviour at paper fidelity comes from
+``simulate_parallel_time``, which the machine cost model uses for
+Fig 3.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.stats import KernelStats
+from repro.formats.csc import CSCMatrix
+from repro.parallel.partition import split_weighted
+from repro.parallel.scheduler import dynamic_schedule, static_schedule
+
+_TWO_PHASE = {"hash", "sliding_hash"}
+
+
+def _total_col_nnz(mats: Sequence[CSCMatrix]) -> np.ndarray:
+    out = mats[0].col_nnz().astype(np.int64)
+    for A in mats[1:]:
+        out = out + A.col_nnz()
+    return out
+
+
+def _concat_results(mats, parts):
+    """Stitch per-chunk result matrices (disjoint column ranges) back
+    into one CSC matrix."""
+    m = mats[0].shape[0]
+    n = mats[0].shape[1]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    chunks = sorted(parts, key=lambda p: p[0])
+    indices = []
+    data = []
+    offset = 0
+    for j0, sub in chunks:
+        w = sub.shape[1]
+        indptr[j0 + 1 : j0 + w + 1] = sub.indptr[1:] + offset
+        offset += sub.nnz
+        indices.append(sub.indices)
+        data.append(sub.data)
+    # forward-fill empty gaps (there are none when chunks cover [0, n))
+    np.maximum.accumulate(indptr, out=indptr)
+    return CSCMatrix(
+        (m, n),
+        indptr,
+        np.concatenate(indices) if indices else np.empty(0, dtype=np.int64),
+        np.concatenate(data) if data else np.empty(0, dtype=np.float64),
+        sorted=all(s.sorted for _, s in chunks),
+        check=False,
+    )
+
+
+def parallel_spkadd(
+    mats: Sequence[CSCMatrix],
+    method: str = "hash",
+    *,
+    threads: int = 2,
+    sorted_output: bool = True,
+    chunks_per_thread: int = 4,
+    **kwargs,
+):
+    """Column-parallel SpKAdd (paper Section III-A).
+
+    Columns are divided into ``threads * chunks_per_thread`` contiguous
+    chunks of near-equal *input nnz* (the dynamic-balancing weight) and
+    executed on a thread pool.  Per-chunk stats are merged; the result
+    is bit-identical to the sequential method.
+    """
+    from repro.core.api import SpKAddResult, _REGISTRY
+
+    if method not in _REGISTRY:
+        raise ValueError(f"unknown method {method!r}")
+    if method.startswith("scipy") or method.startswith("2way"):
+        # Pairwise algorithms parallelize inside each 2-way add the same
+        # way; we run their chunked form identically.
+        pass
+    if method == "sliding_hash" and "cache_bytes" in kwargs:
+        # The sliding cache-budget rule needs the worker count.
+        kwargs.setdefault("threads", threads)
+    n = mats[0].shape[1]
+    weights = _total_col_nnz(mats)
+    n_chunks = max(min(threads * chunks_per_thread, n), 1)
+    ranges = [
+        (j0, j1) for j0, j1 in split_weighted(weights, n_chunks) if j1 > j0
+    ]
+    runner = _REGISTRY[method]
+
+    def work(rng):
+        j0, j1 = rng
+        views = [A.col_view(j0, j1) for A in mats]
+        st = KernelStats()
+        if method in _TWO_PHASE:
+            out, st, st_sym = runner(
+                views, sorted_output=sorted_output, stats=st, **kwargs
+            )
+            return j0, out, st, st_sym
+        out = runner(views, stats=st, **kwargs)
+        return j0, out, st, None
+
+    results = []
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        for item in pool.map(work, ranges):
+            results.append(item)
+
+    merged = KernelStats(algorithm=f"{method}[T={threads}]")
+    merged_sym: Optional[KernelStats] = (
+        KernelStats(algorithm=f"{method}_symbolic[T={threads}]")
+        if method in _TWO_PHASE
+        else None
+    )
+
+    def splice(target: KernelStats, j0: int, chunk: KernelStats) -> None:
+        """Chunk col-arrays cover [j0, j0+width); place them into the
+        full-length arrays before scalar merging."""
+        for name in ("col_in_nnz", "col_out_nnz", "col_ops"):
+            part = getattr(chunk, name)
+            if part is None:
+                continue
+            full = getattr(target, name)
+            if full is None:
+                full = np.zeros(n, dtype=np.asarray(part).dtype)
+                setattr(target, name, full)
+            full[j0 : j0 + len(part)] = part
+            setattr(chunk, name, None)
+
+    for j0, _, st, st_sym in results:
+        splice(merged, j0, st)
+        merged.merge(st)
+        if merged_sym is not None and st_sym is not None:
+            splice(merged_sym, j0, st_sym)
+            merged_sym.merge(st_sym)
+    merged.k = len(mats)
+    merged.n_cols = n
+    out = _concat_results(mats, [(j0, sub) for j0, sub, _, _ in results])
+    return SpKAddResult(out, merged, merged_sym, method=method)
+
+
+def simulate_parallel_time(
+    col_costs: np.ndarray,
+    threads: int,
+    *,
+    policy: str = "dynamic",
+    chunk: int = 8,
+) -> float:
+    """Makespan (cost units) of scheduling per-column costs on T threads.
+
+    ``policy="static"`` reproduces the load imbalance the paper blames
+    for poor RMAT scaling; ``"dynamic"`` reproduces its fix.
+    """
+    costs = np.asarray(col_costs, dtype=np.float64)
+    if threads <= 1:
+        return float(costs.sum())
+    if policy == "static":
+        return static_schedule(costs.shape[0], threads).makespan(costs)
+    return dynamic_schedule(costs, threads, chunk=chunk).makespan(costs)

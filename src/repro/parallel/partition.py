@@ -1,0 +1,55 @@
+"""Partitioning primitives used by the kernels and the schedulers."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def row_partition_bounds(m: int, parts: int) -> np.ndarray:
+    """Equal row-range boundaries for the sliding algorithms.
+
+    Returns ``bounds`` of length ``parts+1`` with part ``p`` covering
+    rows ``[bounds[p], bounds[p+1])`` — the paper's
+    ``r1 = i*m/parts, r2 = (i+1)*m/parts`` (Algorithm 7 line 9).
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    return (np.arange(parts + 1, dtype=np.int64) * m) // parts
+
+
+def split_even(n: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``chunks`` contiguous near-equal pieces.
+
+    This is the *static* OpenMP-style schedule: thread t gets columns
+    ``[bounds[t], bounds[t+1])`` regardless of their cost.
+    """
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    bounds = (np.arange(chunks + 1, dtype=np.int64) * n) // chunks
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(chunks)]
+
+
+def split_weighted(weights: np.ndarray, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(len(weights))`` into contiguous pieces of near-equal
+    total weight (prefix-sum bisection).
+
+    Used to build balanced column *blocks* when column costs are skewed
+    (RMAT): each piece's weight is close to ``total/chunks``.  Contiguity
+    is preserved so the CSC zero-copy block gather still applies.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.shape[0]
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    prefix = np.concatenate([[0.0], np.cumsum(weights)])
+    total = prefix[-1]
+    if total == 0:
+        return split_even(n, chunks)
+    targets = np.linspace(0.0, total, chunks + 1)
+    cuts = np.searchsorted(prefix, targets[1:-1], side="left")
+    bounds = np.concatenate([[0], cuts, [n]]).astype(np.int64)
+    # Enforce monotonicity (possible ties on zero-weight runs).
+    np.maximum.accumulate(bounds, out=bounds)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(chunks)]

@@ -1,0 +1,35 @@
+"""Shared low-level utilities for the SpKAdd reproduction.
+
+The helpers here are deliberately small and dependency-free: hashing
+primitives used by the hash/sliding-hash kernels, power-of-two sizing,
+seeded RNG construction and lightweight timers.
+"""
+
+from repro.util.hashing import (
+    HASH_PRIME,
+    hash_indices,
+    multiplicative_hash,
+    next_pow2,
+    table_size_for,
+)
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.timer import Timer
+from repro.util.checks import (
+    check_same_shape,
+    check_nonempty,
+    require,
+)
+
+__all__ = [
+    "HASH_PRIME",
+    "hash_indices",
+    "multiplicative_hash",
+    "next_pow2",
+    "table_size_for",
+    "default_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_same_shape",
+    "check_nonempty",
+    "require",
+]

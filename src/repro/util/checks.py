@@ -1,0 +1,28 @@
+"""Validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+
+def require(cond: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``cond`` holds."""
+    if not cond:
+        raise ValueError(message)
+
+
+def check_nonempty(mats: Sequence) -> None:
+    """SpKAdd inputs must contain at least one matrix."""
+    if len(mats) == 0:
+        raise ValueError("SpKAdd requires at least one input matrix")
+
+
+def check_same_shape(mats: Iterable) -> Tuple[int, int]:
+    """Verify all matrices share one shape; return it.
+
+    The paper assumes all A_i (and B) live in R^{m x n}.
+    """
+    shapes = {m.shape for m in mats}
+    if len(shapes) != 1:
+        raise ValueError(f"all SpKAdd inputs must share one shape, got {sorted(shapes)}")
+    return next(iter(shapes))

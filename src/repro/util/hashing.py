@@ -1,0 +1,89 @@
+"""Hashing primitives used by the hash-based SpKAdd kernels.
+
+The paper (Section II-C3) uses a *multiplicative masking* hash::
+
+    HASH(r) = (a * r) & (2**q - 1)
+
+where ``r`` is the row index used as the key, ``a`` is a prime, and
+``2**q`` is the hash-table size chosen as the smallest power of two
+strictly larger than the expected number of distinct keys.  Collisions
+are resolved by linear probing (handled by the kernels, not here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The fixed multiplier prime used by :func:`multiplicative_hash`.  Any odd
+#: prime works; this one is large enough to scramble the low bits of small
+#: row indices (the paper does not specify its constant, only that it is
+#: prime).
+HASH_PRIME: int = 2_654_435_761  # Knuth's 2**32 / golden-ratio prime
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def next_pow2(x: int) -> int:
+    """Smallest power of two ``>= max(x, 1)``.
+
+    >>> next_pow2(0), next_pow2(1), next_pow2(5), next_pow2(8)
+    (1, 1, 8, 8)
+    """
+    x = int(x)
+    if x <= 1:
+        return 1
+    return 1 << (x - 1).bit_length()
+
+
+def table_size_for(n_keys: int, min_size: int = 16) -> int:
+    """Hash-table size used by the paper's kernels for ``n_keys`` keys.
+
+    The paper requires a power of two *greater than* the expected number
+    of distinct keys (``nnz(B(:,j))`` for the addition phase,
+    ``sum_i nnz(A_i(:,j))`` for the symbolic phase).  We additionally keep
+    the load factor at most 0.75 so linear probing stays O(1) expected.
+    """
+    need = max(int(n_keys) + 1, min_size)
+    size = next_pow2(need)
+    if n_keys > 0.75 * size:
+        size *= 2
+    return size
+
+
+def multiplicative_hash(key: int, table_size: int, prime: int = HASH_PRIME) -> int:
+    """Scalar multiplicative-masking hash ``(prime * key) & (size - 1)``.
+
+    ``table_size`` must be a power of two.  This is the scalar twin of
+    :func:`hash_indices`, used by the loop-level reference kernels.
+    """
+    if table_size & (table_size - 1):
+        raise ValueError(f"table_size must be a power of two, got {table_size}")
+    return (prime * int(key)) & (table_size - 1)
+
+
+def hash_indices(
+    keys: np.ndarray, table_size: int, prime: int = HASH_PRIME
+) -> np.ndarray:
+    """Vectorized multiplicative-masking hash of an index array.
+
+    Parameters
+    ----------
+    keys:
+        Integer array of hash keys (row indices in the SpKAdd kernels).
+    table_size:
+        Power-of-two table size ``2**q``; the result is masked to
+        ``[0, table_size)``.
+    prime:
+        The multiplier; must be odd so the map is a bijection on the
+        64-bit ring before masking.
+
+    Returns
+    -------
+    ``uint64`` array of hash slots, same shape as ``keys``.
+    """
+    if table_size & (table_size - 1):
+        raise ValueError(f"table_size must be a power of two, got {table_size}")
+    k = np.asarray(keys).astype(np.uint64, copy=False)
+    with np.errstate(over="ignore"):
+        h = (k * np.uint64(prime)) & _MASK64
+    return h & np.uint64(table_size - 1)

@@ -1,0 +1,37 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component of the reproduction (matrix generators, RMAT
+recursion, workload synthesis) accepts either an integer seed or a
+:class:`numpy.random.Generator`; these helpers normalize that choice so
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def default_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an integer, or an existing
+    ``Generator`` (returned unchanged so callers can thread one RNG
+    through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> Sequence[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Used when a workload needs one RNG per matrix (e.g. k independent
+    ER matrices) so that changing k does not perturb earlier matrices.
+    """
+    root = np.random.SeedSequence(seed if not isinstance(seed, np.random.Generator) else None)
+    return [np.random.default_rng(s) for s in root.spawn(n)]

@@ -1,0 +1,34 @@
+"""A tiny wall-clock timer used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._t0: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+
+    def restart(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def lap(self) -> float:
+        now = time.perf_counter()
+        self.elapsed = now - self._t0
+        return self.elapsed

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the SpKAdd reproduction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.csc import CSCMatrix
+
+
+def random_csc(
+    rng: np.random.Generator,
+    m: int,
+    n: int,
+    nnz: int,
+    *,
+    sorted_cols: bool = True,
+) -> CSCMatrix:
+    """A random CSC matrix with ~nnz entries (duplicates summed)."""
+    rows = rng.integers(0, m, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.normal(size=nnz)
+    mat = CSCMatrix.from_arrays((m, n), rows, cols, vals)
+    if not sorted_cols:
+        mat = shuffle_columns(rng, mat)
+    return mat
+
+
+def shuffle_columns(rng: np.random.Generator, mat: CSCMatrix) -> CSCMatrix:
+    """Permute entries within each column (makes columns unsorted)."""
+    indices = mat.indices.copy()
+    data = mat.data.copy()
+    for j in range(mat.shape[1]):
+        lo, hi = int(mat.indptr[j]), int(mat.indptr[j + 1])
+        perm = rng.permutation(hi - lo)
+        indices[lo:hi] = indices[lo:hi][perm]
+        data[lo:hi] = data[lo:hi][perm]
+    return CSCMatrix(
+        mat.shape, mat.indptr.copy(), indices, data, sorted=False, check=False
+    )
+
+
+def random_collection(
+    seed: int, m: int, n: int, k: int, nnz_lo: int = 5, nnz_hi: int = 80
+):
+    """k random same-shape matrices for SpKAdd tests."""
+    rng = np.random.default_rng(seed)
+    return [
+        random_csc(rng, m, n, int(rng.integers(nnz_lo, nnz_hi)))
+        for _ in range(k)
+    ]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_collection():
+    """Nine 200x17 matrices — the default SpKAdd test workload."""
+    return random_collection(7, 200, 17, 9)
+
+
+@pytest.fixture
+def tiny_collection():
+    """Three 12x4 matrices — for loop-level reference kernels."""
+    return random_collection(3, 12, 4, 3, nnz_lo=2, nnz_hi=10)

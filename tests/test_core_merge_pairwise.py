@@ -1,0 +1,138 @@
+"""Tests for the 2-way merge primitive and pairwise SpKAdd."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge2 import merge_cost, merge_sorted_keyed
+from repro.core.pairwise import (
+    add_pair,
+    spkadd_2way_incremental,
+    spkadd_2way_tree,
+)
+from repro.core.stats import KernelStats
+from repro.formats.csc import CSCMatrix
+from repro.formats.ops import matrices_equal, sum_with_scipy
+from tests.conftest import random_collection, shuffle_columns
+
+
+class TestMergeSortedKeyed:
+    def test_disjoint(self):
+        k, v = merge_sorted_keyed(
+            np.array([1, 3], dtype=np.int64), np.array([1.0, 3.0]),
+            np.array([2, 4], dtype=np.int64), np.array([2.0, 4.0]),
+        )
+        assert list(k) == [1, 2, 3, 4]
+        assert list(v) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_overlapping_keys_summed(self):
+        k, v = merge_sorted_keyed(
+            np.array([1, 2, 3], dtype=np.int64), np.array([1.0, 1.0, 1.0]),
+            np.array([2, 3, 4], dtype=np.int64), np.array([10.0, 10.0, 10.0]),
+        )
+        assert list(k) == [1, 2, 3, 4]
+        assert list(v) == [1.0, 11.0, 11.0, 10.0]
+
+    def test_one_empty(self):
+        ka = np.array([5], dtype=np.int64)
+        k, v = merge_sorted_keyed(
+            ka, np.array([2.0]), np.empty(0, dtype=np.int64), np.empty(0)
+        )
+        assert list(k) == [5]
+        k, v = merge_sorted_keyed(
+            np.empty(0, dtype=np.int64), np.empty(0), ka, np.array([2.0])
+        )
+        assert list(k) == [5]
+
+    def test_identical_runs(self):
+        ka = np.arange(10, dtype=np.int64)
+        k, v = merge_sorted_keyed(ka, np.ones(10), ka.copy(), np.ones(10))
+        assert np.array_equal(k, ka)
+        assert np.all(v == 2.0)
+
+    def test_merge_cost(self):
+        assert merge_cost(3, 4) == 7
+
+
+class TestAddPair:
+    def test_matches_dense(self, rng):
+        from tests.conftest import random_csc
+
+        a = random_csc(rng, 30, 8, 40)
+        b = random_csc(rng, 30, 8, 40)
+        out = add_pair(a, b)
+        assert np.allclose(out.to_dense(), a.to_dense() + b.to_dense())
+
+    def test_requires_sorted(self, rng):
+        from tests.conftest import random_csc
+
+        a = random_csc(rng, 30, 8, 40)
+        b = shuffle_columns(rng, random_csc(rng, 30, 8, 40))
+        with pytest.raises(ValueError, match="sorted"):
+            add_pair(a, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            add_pair(CSCMatrix.zeros((2, 2)), CSCMatrix.zeros((3, 2)))
+
+    def test_stats_counts(self, rng):
+        from tests.conftest import random_csc
+
+        a = random_csc(rng, 30, 8, 40)
+        b = random_csc(rng, 30, 8, 40)
+        st = KernelStats()
+        out = add_pair(a, b, st)
+        assert st.ops == a.nnz + b.nnz
+        assert st.bytes_written == out.nnz * 8
+
+
+class TestPairwiseSpKAdd:
+    def test_incremental_matches_oracle(self, small_collection):
+        got = spkadd_2way_incremental(small_collection)
+        assert matrices_equal(got, sum_with_scipy(small_collection))
+
+    def test_tree_matches_oracle(self, small_collection):
+        got = spkadd_2way_tree(small_collection)
+        assert matrices_equal(got, sum_with_scipy(small_collection))
+
+    def test_single_matrix(self, small_collection):
+        one = [small_collection[0]]
+        assert matrices_equal(
+            spkadd_2way_incremental(one), small_collection[0]
+        )
+        assert matrices_equal(spkadd_2way_tree(one), small_collection[0])
+
+    def test_odd_k(self):
+        mats = random_collection(11, 50, 6, 5)
+        assert matrices_equal(spkadd_2way_tree(mats), sum_with_scipy(mats))
+
+    def test_incremental_work_exceeds_tree(self):
+        """The paper's core observation: O(k^2) vs O(k lg k)."""
+        mats = random_collection(13, 100, 8, 16, nnz_lo=30, nnz_hi=40)
+        st_inc, st_tree = KernelStats(), KernelStats()
+        spkadd_2way_incremental(mats, stats=st_inc)
+        spkadd_2way_tree(mats, stats=st_tree)
+        assert st_inc.ops > st_tree.ops
+        assert st_inc.bytes_read > st_tree.bytes_read
+
+    def test_presort_flag(self, rng):
+        from tests.conftest import random_csc
+
+        mats = [
+            shuffle_columns(rng, random_csc(rng, 40, 5, 30)) for _ in range(3)
+        ]
+        with pytest.raises(ValueError):
+            spkadd_2way_incremental(mats)
+        got = spkadd_2way_incremental(mats, presort=True)
+        assert matrices_equal(got, sum_with_scipy(mats))
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            spkadd_2way_incremental([])
+
+    def test_intermediate_accounting(self):
+        mats = random_collection(17, 60, 4, 4)
+        st = KernelStats()
+        out = spkadd_2way_incremental(mats, stats=st)
+        # intermediates exclude the final output
+        assert st.output_nnz == out.nnz
+        assert st.intermediate_nnz >= 0

@@ -1,0 +1,172 @@
+"""Tests for the distributed substrate: grids, local SpGEMM, SUMMA."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.comm import CommLog
+from repro.distributed.grid import BlockDistribution, ProcessGrid, block_bounds
+from repro.distributed.spgemm_local import LocalSpGEMMStats, local_spgemm
+from repro.distributed.summa import summa_spgemm
+from repro.distributed.timing import spgemm_phase_times
+from repro.formats.convert import from_scipy, to_scipy
+from repro.formats.csc import CSCMatrix
+from repro.formats.ops import matrices_equal
+from repro.generators import erdos_renyi, rmat
+from repro.machine.spec import CORI_KNL
+
+
+def spgemm_oracle(A, B):
+    return from_scipy((to_scipy(A) @ to_scipy(B)).tocsc(), "csc")
+
+
+class TestGrid:
+    def test_rank_coords_roundtrip(self):
+        g = ProcessGrid(3, 5)
+        for i in range(3):
+            for j in range(5):
+                assert g.coords(g.rank(i, j)) == (i, j)
+
+    def test_bounds_checks(self):
+        g = ProcessGrid(2, 2)
+        with pytest.raises(IndexError):
+            g.rank(2, 0)
+        with pytest.raises(IndexError):
+            g.coords(4)
+
+    def test_block_bounds(self):
+        assert list(block_bounds(10, 3)) == [0, 3, 6, 10]
+
+
+class TestBlockDistribution:
+    def test_roundtrip(self):
+        mat = erdos_renyi(100, 60, d=5, seed=0)
+        for br, bc in [(1, 1), (2, 3), (4, 4), (7, 2)]:
+            dist = BlockDistribution.distribute(mat, br, bc)
+            assert matrices_equal(dist.reassemble(), mat)
+
+    def test_block_shapes(self):
+        mat = erdos_renyi(100, 60, d=5, seed=0)
+        dist = BlockDistribution.distribute(mat, 2, 3)
+        assert dist.block(0, 0).shape == (50, 20)
+        assert dist.block(1, 2).shape == (50, 20)
+
+    def test_nnz_conserved(self):
+        mat = erdos_renyi(64, 64, d=4, seed=1)
+        dist = BlockDistribution.distribute(mat, 3, 3)
+        total = sum(
+            dist.block(i, j).nnz for i in range(3) for j in range(3)
+        )
+        assert total == mat.nnz
+
+
+class TestLocalSpGEMM:
+    @pytest.mark.parametrize("acc", ["hash", "sort"])
+    @pytest.mark.parametrize("sorted_output", [True, False])
+    def test_matches_scipy(self, acc, sorted_output):
+        A = rmat(128, 128, d=6, seed=1)
+        B = rmat(128, 128, d=6, seed=2)
+        C = local_spgemm(A, B, accumulator=acc, sorted_output=sorted_output)
+        got = C.copy()
+        got.sort_indices()
+        assert matrices_equal(got, spgemm_oracle(A, B), atol=1e-9)
+
+    def test_rectangular(self):
+        A = erdos_renyi(64, 32, d=4, seed=3)
+        B = erdos_renyi(32, 16, d=4, seed=4)
+        C = local_spgemm(A, B)
+        got = C.copy()
+        got.sort_indices()
+        assert matrices_equal(got, spgemm_oracle(A, B), atol=1e-9)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            local_spgemm(CSCMatrix.zeros((4, 4)), CSCMatrix.zeros((5, 4)))
+
+    def test_empty_result(self):
+        C = local_spgemm(CSCMatrix.zeros((4, 3)), CSCMatrix.zeros((3, 2)))
+        assert C.nnz == 0 and C.shape == (4, 2)
+
+    def test_flop_count(self):
+        A = erdos_renyi(64, 32, d=4, seed=5)
+        B = erdos_renyi(32, 16, d=4, seed=6)
+        st = LocalSpGEMMStats()
+        local_spgemm(A, B, stats=st)
+        expected = int(np.sum(A.col_nnz()[B.indices]))
+        assert st.flops == expected
+
+    def test_sort_charged_only_when_sorted(self):
+        A = rmat(64, 64, d=4, seed=7)
+        st_sorted, st_unsorted = LocalSpGEMMStats(), LocalSpGEMMStats()
+        local_spgemm(A, A, sorted_output=True, stats=st_sorted)
+        local_spgemm(A, A, sorted_output=False, stats=st_unsorted)
+        assert st_sorted.sort_entries > 0
+        assert st_unsorted.sort_entries == 0
+
+    def test_unknown_accumulator(self):
+        A = CSCMatrix.zeros((4, 4))
+        with pytest.raises(ValueError):
+            local_spgemm(A, A, accumulator="tree")
+
+
+class TestSumma:
+    @pytest.mark.parametrize("method,sorted_im", [
+        ("hash", None), ("hash", True), ("heap", None), ("spa", None),
+    ])
+    def test_matches_direct_spgemm(self, method, sorted_im):
+        A = rmat(128, 128, d=5, seed=8)
+        B = rmat(128, 128, d=5, seed=9)
+        res = summa_spgemm(
+            A, B, grid=ProcessGrid(2, 2), stages=4,
+            spkadd_method=method, sorted_intermediates=sorted_im,
+        )
+        got = res.assemble()
+        got.sort_indices()
+        assert matrices_equal(got, spgemm_oracle(A, B), atol=1e-9)
+
+    def test_heap_requires_sorted(self):
+        A = rmat(64, 64, d=4, seed=10)
+        with pytest.raises(ValueError, match="sorted"):
+            summa_spgemm(
+                A, A, grid=ProcessGrid(2, 2),
+                spkadd_method="heap", sorted_intermediates=False,
+            )
+
+    def test_stage_count_is_spkadd_k(self):
+        A = rmat(64, 64, d=4, seed=11)
+        res = summa_spgemm(A, A, grid=ProcessGrid(2, 2), stages=6)
+        assert res.stages == 6
+        assert all(r.spkadd_stats.k == 6 for r in res.ranks)
+
+    def test_comm_log_counts_broadcasts(self):
+        A = rmat(64, 64, d=4, seed=12)
+        log = CommLog()
+        summa_spgemm(A, A, grid=ProcessGrid(2, 2), stages=4, comm=log)
+        # per stage: 2 row bcasts (A) + 2 col bcasts (B)
+        assert len(log.events) == 4 * 4
+        assert log.total_bytes > 0
+        assert log.estimated_seconds > 0
+
+    def test_unsorted_multiply_cheaper(self):
+        A = rmat(128, 128, d=6, seed=13)
+        r_sorted = summa_spgemm(
+            A, A, grid=ProcessGrid(2, 2), stages=4,
+            spkadd_method="hash", sorted_intermediates=True,
+        )
+        r_unsorted = summa_spgemm(
+            A, A, grid=ProcessGrid(2, 2), stages=4,
+            spkadd_method="hash", sorted_intermediates=False,
+        )
+        t_s = spgemm_phase_times(r_sorted, CORI_KNL)
+        t_u = spgemm_phase_times(r_unsorted, CORI_KNL)
+        assert t_u.local_multiply < t_s.local_multiply
+        # results identical either way
+        a = r_sorted.assemble(); a.sort_indices()
+        b = r_unsorted.assemble(); b.sort_indices()
+        assert matrices_equal(a, b, atol=1e-9)
+
+    def test_phase_totals(self):
+        A = rmat(64, 64, d=4, seed=14)
+        res = summa_spgemm(A, A, grid=ProcessGrid(2, 2), stages=4)
+        totals = res.phase_totals()
+        assert totals["flops_total"] > 0
+        assert totals["spkadd_ops_total"] > 0

@@ -1,0 +1,164 @@
+"""Tests for the ER estimator, experiment runner and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    er_2way_incremental_work,
+    er_2way_tree_work,
+    er_expected_cf,
+    er_expected_output_col_nnz,
+    er_heap_work,
+    er_kway_work,
+    expected_distinct,
+)
+from repro.core.stats import KernelStats
+from repro.experiments.config import PAPER, ReproScale
+from repro.experiments.report import format_series, format_table, format_winner_grid
+from repro.experiments.runner import synthesize_pairwise_stats, run_method
+from repro.generators import erdos_renyi_collection
+from repro.machine.costmodel import CostModel
+from repro.machine.spec import INTEL_SKYLAKE_8160
+
+
+class TestEstimator:
+    def test_expected_distinct_limits(self):
+        assert expected_distinct(100, 0) == 0.0
+        assert expected_distinct(100, 1) == pytest.approx(1.0)
+        # many draws saturate at m
+        assert expected_distinct(100, 100000) == pytest.approx(100, rel=1e-3)
+
+    def test_expected_distinct_matches_simulation(self):
+        rng = np.random.default_rng(0)
+        m, draws = 1000, 1500
+        sim = np.mean([
+            len(np.unique(rng.integers(0, m, draws))) for _ in range(50)
+        ])
+        assert expected_distinct(m, draws) == pytest.approx(sim, rel=0.02)
+
+    def test_output_col_nnz_bounds(self):
+        v = er_expected_output_col_nnz(1000, 10, 4)
+        assert 10 <= v <= 40
+
+    def test_cf_monotone_in_k(self):
+        cfs = [er_expected_cf(10_000, 100, k) for k in (2, 8, 32, 128)]
+        assert all(a <= b for a, b in zip(cfs, cfs[1:]))
+
+    def test_cf_at_least_one(self):
+        assert er_expected_cf(100, 1, 1) >= 1.0
+
+    def test_work_formulas_ordering(self):
+        # k-way < tree = heap < incremental for large k
+        d, k, n = 64, 64, 100
+        assert er_kway_work(d, k, n) < er_2way_tree_work(d, k, n)
+        assert er_2way_tree_work(d, k, n) == er_heap_work(d, k, n)
+        assert er_2way_tree_work(d, k, n) < er_2way_incremental_work(d, k, n)
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [333, None]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # equal widths
+        assert "-" in lines[1]
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"y": [0.5, 1.5]}, title="t")
+        assert text.startswith("t")
+        assert "1.5" in text
+
+    def test_winner_grid_legend(self):
+        text = format_winner_grid(
+            "k", "d", [4], [16], {(4, 16): "hash"},
+            abbrev={"hash": "H"},
+        )
+        assert "legend" in text
+        assert "H" in text
+
+
+class TestScaleConfig:
+    def test_time_factor(self):
+        sc = ReproScale(16, 32)
+        assert sc.time_factor == 512
+
+    def test_dimension_mapping(self):
+        sc = ReproScale(16, 16)
+        assert sc.m() == PAPER["m"] // 16
+        assert sc.n(1024) == 64
+        assert sc.d(1024) == 64.0
+        assert sc.d(4) == 1.0  # floor at 1
+
+    def test_m_pow2(self):
+        sc = ReproScale(16, 16)
+        m = sc.m_pow2()
+        assert m & (m - 1) == 0
+        assert m >= sc.m()
+
+    def test_machine_scaling(self):
+        sc = ReproScale(16, 16)
+        mc = sc.machine(INTEL_SKYLAKE_8160)
+        assert mc.llc_bytes == INTEL_SKYLAKE_8160.llc_bytes // 16
+
+
+class TestRunner:
+    def test_synthesized_pairwise_exact(self):
+        """The no-execution pairwise stats equal real execution."""
+        from repro.core.pairwise import (
+            spkadd_2way_incremental,
+            spkadd_2way_tree,
+        )
+
+        mats = erdos_renyi_collection(512, 8, d=8, k=6, seed=1)
+        inc_s, tree_s = synthesize_pairwise_stats(mats)
+        st = KernelStats()
+        out = spkadd_2way_incremental(mats, stats=st)
+        assert inc_s.ops == st.ops
+        assert inc_s.bytes_written == st.bytes_written
+        assert inc_s.output_nnz == out.nnz
+        st2 = KernelStats()
+        out2 = spkadd_2way_tree(mats, stats=st2)
+        assert tree_s.ops == st2.ops
+        assert tree_s.output_nnz == out2.nnz
+
+    @pytest.mark.parametrize("method", ["hash", "sliding_hash", "heap", "spa"])
+    def test_run_method_produces_time(self, method):
+        mats = erdos_renyi_collection(1024, 8, d=8, k=4, seed=2)
+        cm = CostModel(INTEL_SKYLAKE_8160.scaled(256), threads=4)
+        rr = run_method(mats, method, cm, time_factor=2.0)
+        assert rr.seconds > 0
+        assert rr.output_nnz > 0
+        assert rr.stats.input_nnz == sum(m.nnz for m in mats)
+
+    def test_unknown_method(self):
+        mats = erdos_renyi_collection(128, 4, d=2, k=2, seed=3)
+        cm = CostModel(INTEL_SKYLAKE_8160, threads=1)
+        with pytest.raises(ValueError):
+            run_method(mats, "banana", cm)
+
+
+@pytest.mark.slow
+class TestCalibration:
+    def test_anchor_reproduction(self):
+        """Calibrated constants reproduce the Table III anchor column."""
+        from repro.experiments.calibration import (
+            ANCHOR_D,
+            ANCHOR_K,
+            TABLE3_ANCHORS,
+            calibrated_cost_model,
+        )
+        from repro.experiments.runner import run_all_methods
+
+        sc = ReproScale(64, 64)
+        cm = calibrated_cost_model(
+            sc.machine(INTEL_SKYLAKE_8160), PAPER["threads"], scale=sc
+        )
+        mats = erdos_renyi_collection(
+            sc.m(), sc.n(PAPER["n_er"]), d=sc.d(ANCHOR_D), k=ANCHOR_K,
+            seed=2021,
+        )
+        runs = run_all_methods(
+            mats, cm, time_factor=sc.time_factor, capacity_factor=sc.scale_m
+        )
+        for method, target in TABLE3_ANCHORS.items():
+            got = runs[method].seconds
+            assert got == pytest.approx(target, rel=0.35), method

@@ -1,0 +1,194 @@
+"""Tests for the CSC format substrate."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csc import CSCMatrix
+
+
+def dense_fixture():
+    d = np.zeros((6, 4))
+    d[0, 0] = 1.0
+    d[3, 0] = 2.0
+    d[1, 1] = -1.5
+    d[5, 3] = 4.0
+    d[2, 3] = 0.5
+    return d
+
+
+class TestConstruction:
+    def test_from_arrays_roundtrip(self):
+        d = dense_fixture()
+        mat = CSCMatrix.from_dense(d)
+        assert np.array_equal(mat.to_dense(), d)
+
+    def test_from_arrays_sums_duplicates(self):
+        mat = CSCMatrix.from_arrays(
+            (4, 2), [1, 1, 2], [0, 0, 1], [1.0, 2.0, 5.0]
+        )
+        assert mat.nnz == 2
+        assert mat.to_dense()[1, 0] == 3.0
+
+    def test_from_arrays_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSCMatrix.from_arrays((2, 2), [2], [0], [1.0])
+        with pytest.raises(ValueError):
+            CSCMatrix.from_arrays((2, 2), [0], [5], [1.0])
+
+    def test_from_columns(self):
+        cols = [
+            (np.array([0, 3]), np.array([1.0, 2.0])),
+            (np.array([], dtype=np.int64), np.array([])),
+            (np.array([2]), np.array([-1.0])),
+        ]
+        mat = CSCMatrix.from_columns((5, 3), cols)
+        assert mat.nnz == 3
+        r, v = mat.col(0)
+        assert list(r) == [0, 3]
+        r, v = mat.col(1)
+        assert len(r) == 0
+
+    def test_from_columns_wrong_count(self):
+        with pytest.raises(ValueError):
+            CSCMatrix.from_columns((5, 3), [(np.array([0]), np.array([1.0]))])
+
+    def test_zeros(self):
+        z = CSCMatrix.zeros((7, 5))
+        assert z.nnz == 0
+        assert z.shape == (7, 5)
+        assert np.all(z.to_dense() == 0)
+
+
+class TestValidation:
+    def test_bad_indptr_start(self):
+        with pytest.raises(ValueError):
+            CSCMatrix((2, 2), np.array([1, 1, 1]), np.array([], dtype=np.int64), np.array([]))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(ValueError):
+            CSCMatrix(
+                (2, 2), np.array([0, 2, 1]),
+                np.array([0, 1], dtype=np.int64), np.array([1.0, 2.0]),
+            )
+
+    def test_indptr_nnz_mismatch(self):
+        with pytest.raises(ValueError):
+            CSCMatrix(
+                (2, 2), np.array([0, 1, 3]),
+                np.array([0, 1], dtype=np.int64), np.array([1.0, 2.0]),
+            )
+
+    def test_sorted_flag_checked(self):
+        with pytest.raises(ValueError):
+            CSCMatrix(
+                (4, 1), np.array([0, 2]),
+                np.array([2, 0], dtype=np.int64), np.array([1.0, 2.0]),
+                sorted=True,
+            )
+
+    def test_unsorted_accepted_when_flagged(self):
+        mat = CSCMatrix(
+            (4, 1), np.array([0, 2]),
+            np.array([2, 0], dtype=np.int64), np.array([1.0, 2.0]),
+            sorted=False,
+        )
+        assert not mat.sorted
+
+
+class TestAccess:
+    def test_col_view_is_zero_copy(self):
+        mat = CSCMatrix.from_dense(dense_fixture())
+        rows, vals = mat.col(0)
+        assert rows.base is mat.indices or rows.base is None
+
+    def test_col_nnz(self):
+        mat = CSCMatrix.from_dense(dense_fixture())
+        assert list(mat.col_nnz()) == [2, 1, 0, 2]
+
+    def test_col_block_rebased(self):
+        mat = CSCMatrix.from_dense(dense_fixture())
+        indptr, idx, dat = mat.col_block(1, 4)
+        assert indptr[0] == 0
+        assert int(indptr[-1]) == 3
+
+    def test_row_range_of_col_sorted(self):
+        mat = CSCMatrix.from_dense(dense_fixture())
+        rows, vals = mat.row_range_of_col(3, 0, 3)
+        assert list(rows) == [2]
+        rows, vals = mat.row_range_of_col(3, 2, 6)
+        assert list(rows) == [2, 5]
+
+    def test_row_range_of_col_unsorted(self):
+        mat = CSCMatrix(
+            (4, 1), np.array([0, 2]),
+            np.array([2, 0], dtype=np.int64), np.array([1.0, 2.0]),
+            sorted=False,
+        )
+        rows, _ = mat.row_range_of_col(0, 0, 1)
+        assert list(rows) == [0]
+
+
+class TestStructure:
+    def test_select_columns(self):
+        mat = CSCMatrix.from_dense(dense_fixture())
+        sub = mat.select_columns(1, 3)
+        assert sub.shape == (6, 2)
+        assert np.array_equal(sub.to_dense(), dense_fixture()[:, 1:3])
+
+    def test_col_view_matches_select(self):
+        mat = CSCMatrix.from_dense(dense_fixture())
+        assert np.array_equal(
+            mat.col_view(1, 3).to_dense(), mat.select_columns(1, 3).to_dense()
+        )
+
+    def test_embed_columns(self):
+        mat = CSCMatrix.from_dense(dense_fixture())
+        emb = mat.embed_columns(10, 4)
+        assert emb.shape == (6, 10)
+        assert np.array_equal(emb.to_dense()[:, 4:8], dense_fixture())
+        assert np.all(emb.to_dense()[:, :4] == 0)
+
+    def test_embed_out_of_range(self):
+        mat = CSCMatrix.from_dense(dense_fixture())
+        with pytest.raises(ValueError):
+            mat.embed_columns(5, 3)
+
+    def test_scaled(self):
+        mat = CSCMatrix.from_dense(dense_fixture())
+        assert np.allclose(mat.scaled(2.0).to_dense(), 2 * dense_fixture())
+
+    def test_drop_explicit_zeros(self):
+        mat = CSCMatrix.from_arrays(
+            (3, 2), [0, 1, 2], [0, 0, 1], [1.0, 0.0, 2.0]
+        )
+        dropped = mat.drop_explicit_zeros()
+        assert dropped.nnz == 2
+        assert np.array_equal(dropped.to_dense(), mat.to_dense())
+
+    def test_sort_indices(self):
+        mat = CSCMatrix(
+            (4, 2), np.array([0, 2, 3]),
+            np.array([3, 0, 1], dtype=np.int64), np.array([1.0, 2.0, 3.0]),
+            sorted=False,
+        )
+        dense_before = mat.to_dense().copy()
+        mat.sort_indices()
+        assert mat.sorted
+        assert mat._check_sorted()
+        assert np.array_equal(mat.to_dense(), dense_before)
+
+    def test_equality(self):
+        a = CSCMatrix.from_dense(dense_fixture())
+        b = CSCMatrix.from_dense(dense_fixture())
+        assert a == b
+        b.data[0] += 1.0
+        assert not (a == b)
+
+    def test_copy_independent(self):
+        a = CSCMatrix.from_dense(dense_fixture())
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] != 99.0
+
+    def test_nbytes_positive(self):
+        assert CSCMatrix.from_dense(dense_fixture()).nbytes > 0

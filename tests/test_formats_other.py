@@ -1,0 +1,158 @@
+"""Tests for CSR, COO, conversions and structural ops."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.formats.convert import (
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_coo,
+    csc_to_csr,
+    csr_to_coo,
+    csr_to_csc,
+    from_scipy,
+    to_scipy,
+    transpose_csc,
+)
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.ops import (
+    canonicalize,
+    compression_factor,
+    matrices_equal,
+    sum_with_scipy,
+)
+
+
+def dense():
+    rng = np.random.default_rng(3)
+    d = rng.normal(size=(8, 5))
+    d[rng.random((8, 5)) > 0.35] = 0.0
+    return d
+
+
+class TestCSR:
+    def test_roundtrip(self):
+        d = dense()
+        assert np.array_equal(CSRMatrix.from_dense(d).to_dense(), d)
+
+    def test_rows_major(self):
+        mat = CSRMatrix.from_dense(dense())
+        cols, vals = mat.row(2)
+        assert np.array_equal(mat.to_dense()[2][cols], vals)
+
+    def test_row_nnz(self):
+        d = dense()
+        mat = CSRMatrix.from_dense(d)
+        assert np.array_equal(mat.row_nnz(), (d != 0).sum(axis=1))
+
+    def test_duplicates_summed(self):
+        mat = CSRMatrix.from_arrays((3, 3), [0, 0], [1, 1], [1.0, 4.0])
+        assert mat.nnz == 1
+        assert mat.to_dense()[0, 1] == 5.0
+
+    def test_equality(self):
+        a = CSRMatrix.from_dense(dense())
+        b = CSRMatrix.from_dense(dense())
+        assert a == b
+
+
+class TestCOO:
+    def test_parallel_array_check(self):
+        with pytest.raises(ValueError):
+            COOMatrix((3, 3), [0, 1], [0], [1.0])
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), [3], [0], [1.0])
+
+    def test_sum_duplicates(self):
+        coo = COOMatrix((3, 3), [1, 1, 0], [2, 2, 0], [1.0, 2.0, 5.0])
+        s = coo.sum_duplicates()
+        assert s.nnz == 2
+        assert s.to_dense()[1, 2] == 3.0
+
+    def test_to_dense_accumulates(self):
+        coo = COOMatrix((2, 2), [0, 0], [0, 0], [1.0, 1.0])
+        assert coo.to_dense()[0, 0] == 2.0
+
+
+class TestConversions:
+    def test_all_roundtrips(self):
+        d = dense()
+        csc = CSCMatrix.from_dense(d)
+        assert np.array_equal(coo_to_csc(csc_to_coo(csc)).to_dense(), d)
+        csr = csc_to_csr(csc)
+        assert np.array_equal(csr.to_dense(), d)
+        assert np.array_equal(csr_to_csc(csr).to_dense(), d)
+        assert np.array_equal(coo_to_csr(csr_to_coo(csr)).to_dense(), d)
+
+    def test_transpose(self):
+        d = dense()
+        t = transpose_csc(CSCMatrix.from_dense(d))
+        assert np.array_equal(t.to_dense(), d.T)
+
+    def test_scipy_roundtrip_csc(self):
+        d = dense()
+        mat = CSCMatrix.from_dense(d)
+        back = from_scipy(to_scipy(mat), "csc")
+        assert matrices_equal(mat, back)
+
+    def test_scipy_roundtrip_csr(self):
+        d = dense()
+        mat = CSRMatrix.from_dense(d)
+        assert np.array_equal(from_scipy(to_scipy(mat), "csr").to_dense(), d)
+
+    def test_scipy_coo(self):
+        d = dense()
+        coo = csc_to_coo(CSCMatrix.from_dense(d))
+        assert np.array_equal(from_scipy(to_scipy(coo), "coo").to_dense(), d)
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            from_scipy(to_scipy(CSCMatrix.zeros((2, 2))), "banana")
+
+
+class TestOps:
+    def test_matrices_equal_ignores_column_order_within_tolerance(self):
+        d = dense()
+        a = CSCMatrix.from_dense(d)
+        b = a.copy()
+        b.data = b.data + 1e-14
+        assert matrices_equal(a, b)
+
+    def test_matrices_equal_shape_mismatch(self):
+        assert not matrices_equal(CSCMatrix.zeros((2, 2)), CSCMatrix.zeros((2, 3)))
+
+    def test_matrices_equal_structural(self):
+        a = CSCMatrix.from_arrays((3, 1), [0, 1], [0, 0], [1.0, 2.0])
+        b = CSCMatrix.from_arrays((3, 1), [0, 1], [0, 0], [9.0, 9.0])
+        assert matrices_equal(a, b, structural=True)
+        assert not matrices_equal(a, b)
+
+    def test_sum_with_scipy_matches_dense(self):
+        rng = np.random.default_rng(0)
+        mats = [
+            CSCMatrix.from_arrays(
+                (10, 4), rng.integers(0, 10, 20), rng.integers(0, 4, 20),
+                rng.normal(size=20),
+            )
+            for _ in range(5)
+        ]
+        total = sum_with_scipy(mats)
+        expect = sum(m.to_dense() for m in mats)
+        assert np.allclose(total.to_dense(), expect)
+
+    def test_canonicalize_sorts(self):
+        mat = CSCMatrix(
+            (4, 1), np.array([0, 2]),
+            np.array([2, 0], dtype=np.int64), np.array([1.0, 2.0]),
+            sorted=False,
+        )
+        assert canonicalize(mat).sorted
+
+    def test_compression_factor(self):
+        assert compression_factor(100, 50) == 2.0
+        assert compression_factor(0, 0) == 1.0
+        assert compression_factor(10, 0) == float("inf")

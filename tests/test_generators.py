@@ -1,0 +1,198 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import er_expected_cf, er_expected_output_col_nnz
+from repro.formats.ops import matrices_equal, sum_with_scipy
+from repro.generators import (
+    erdos_renyi,
+    erdos_renyi_collection,
+    rmat,
+    rmat_collection,
+    split_columns,
+)
+from repro.generators.protein import (
+    DATASETS,
+    protein_collection,
+    solve_inclusion_probability,
+    spgemm_intermediates_surrogate,
+)
+from repro.generators.rmat import RMAT_ER, RMAT_GRAPH500, rmat_positions
+
+
+class TestER:
+    def test_shape_and_density(self):
+        mat = erdos_renyi(1024, 32, d=16, seed=0)
+        assert mat.shape == (1024, 32)
+        # duplicates within a column are rare at d/m = 1.5%
+        assert 0.9 * 16 * 32 <= mat.nnz <= 16 * 32
+
+    def test_exact_d_draws_per_column(self):
+        mat = erdos_renyi(10_000, 16, d=8, seed=1)
+        assert np.all(mat.col_nnz() <= 8)
+        assert mat.col_nnz().mean() > 7.5
+
+    def test_deterministic(self):
+        a = erdos_renyi(256, 8, d=4, seed=9)
+        b = erdos_renyi(256, 8, d=4, seed=9)
+        assert matrices_equal(a, b)
+
+    def test_values_ones(self):
+        mat = erdos_renyi(128, 4, d=2, seed=0, values="ones")
+        assert np.all(mat.data >= 1.0)  # duplicates sum to integers
+
+    def test_collection_independent(self):
+        mats = erdos_renyi_collection(512, 8, d=4, k=5, seed=3)
+        assert len(mats) == 5
+        assert not matrices_equal(mats[0], mats[1])
+
+    def test_collection_cf_matches_estimator(self):
+        m, d, k = 4096, 64, 16
+        mats = erdos_renyi_collection(m, 64, d=d, k=k, seed=1)
+        total = sum(x.nnz for x in mats)
+        out = sum_with_scipy(mats)
+        cf = total / out.nnz
+        assert cf == pytest.approx(er_expected_cf(m, d, k), rel=0.05)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 4, d=2)
+
+
+class TestRmat:
+    def test_shape(self):
+        mat = rmat(256, 64, d=8, seed=0)
+        assert mat.shape == (256, 64)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            rmat(100, 64, d=8)
+
+    def test_seeds_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            rmat_positions(64, 64, 10, seeds=(0.5, 0.5, 0.5, 0.5))
+
+    def test_er_seeds_are_uniform(self):
+        """a=b=c=d=0.25 must give (statistically) uniform rows."""
+        rows, cols = rmat_positions(1 << 14, 1, 50_000, seeds=RMAT_ER, seed=1)
+        # mean should be near m/2
+        assert abs(rows.mean() / (1 << 13) - 1.0) < 0.05
+
+    def test_graph500_seeds_are_skewed(self):
+        """Graph500 seeds concentrate mass on low indices."""
+        rows, _ = rmat_positions(1 << 14, 1, 50_000, seeds=RMAT_GRAPH500, seed=1)
+        assert np.median(rows) < (1 << 13) * 0.5
+
+    def test_column_skew_of_collection(self):
+        """RMAT column degrees vary strongly (the load-balance story)."""
+        mats = rmat_collection(1 << 12, 64, d=16, k=4, seed=2)
+        nnz = np.concatenate([m.col_nnz() for m in mats])
+        assert nnz.max() > 4 * max(nnz.mean(), 1)
+
+    def test_rectangular_levels(self):
+        mat = rmat(256, 16, d=4, seed=3)
+        assert mat.shape == (256, 16)
+        assert int(mat.indices.max()) < 256
+
+    def test_deterministic(self):
+        a = rmat(128, 32, d=4, seed=5)
+        b = rmat(128, 32, d=4, seed=5)
+        assert matrices_equal(a, b)
+
+    def test_noise_changes_output(self):
+        a = rmat(128, 32, d=4, seed=5, noise=0.1)
+        b = rmat(128, 32, d=4, seed=5)
+        assert not matrices_equal(a, b)
+
+
+class TestSplitter:
+    def test_split_columns(self):
+        wide = erdos_renyi(128, 32, d=4, seed=0)
+        parts = split_columns(wide, 4)
+        assert len(parts) == 4
+        assert all(p.shape == (128, 8) for p in parts)
+        # reassembling the splits gives back the wide matrix
+        total = np.concatenate([p.to_dense() for p in parts], axis=1)
+        assert np.array_equal(total, wide.to_dense())
+
+    def test_indivisible_raises(self):
+        wide = erdos_renyi(64, 10, d=2, seed=0)
+        with pytest.raises(ValueError):
+            split_columns(wide, 3)
+
+
+class TestProtein:
+    def test_solve_inclusion_probability(self):
+        for k, cf in [(64, 22.614), (16, 8.0), (4, 2.0)]:
+            q = solve_inclusion_probability(cf, k)
+            got = k * q / (1 - (1 - q) ** k)
+            assert got == pytest.approx(cf, rel=1e-4)
+
+    def test_cf_out_of_range(self):
+        with pytest.raises(ValueError):
+            solve_inclusion_probability(10.0, 4)  # cf > k
+
+    def test_collection_cf_near_target(self):
+        mats = protein_collection(m=8192, n=128, d=40, k=16, cf=8.0, seed=0)
+        total = sum(m.nnz for m in mats)
+        out = sum_with_scipy(mats)
+        assert total / out.nnz == pytest.approx(8.0, rel=0.15)
+
+    def test_degree_target(self):
+        mats = protein_collection(m=8192, n=128, d=40, k=8, cf=4.0, seed=0)
+        mean_d = np.mean([m.nnz / 128 for m in mats])
+        assert mean_d == pytest.approx(40, rel=0.25)
+
+    def test_surrogate_presets(self):
+        mats = spgemm_intermediates_surrogate(
+            "eukarya", scale=512, k=8, cf=6.0, d=30, seed=1
+        )
+        assert len(mats) == 8
+        assert mats[0].shape[0] >= 1024
+
+    def test_dataset_metadata(self):
+        assert DATASETS["metaclust50"].rows == 282_000_000
+        assert DATASETS["isolates"].nnz == 17_000_000_000
+
+
+class TestWorkloads:
+    def test_gradient_updates(self):
+        from repro.generators import gradient_update_collection
+
+        mats = gradient_update_collection(
+            rows=64, cols=32, k=6, density=0.05, correlated=0.5, seed=0
+        )
+        assert len(mats) == 6
+        total = sum(m.nnz for m in mats)
+        out = sum_with_scipy(mats)
+        assert total / out.nnz > 1.2  # correlated supports overlap
+
+    def test_gradient_updates_validation(self):
+        from repro.generators import gradient_update_collection
+
+        with pytest.raises(ValueError):
+            gradient_update_collection(rows=4, cols=4, k=2, density=0.0)
+        with pytest.raises(ValueError):
+            gradient_update_collection(rows=4, cols=4, k=2, correlated=2.0)
+
+    def test_fem_assembly_equals_direct(self):
+        import repro
+        from repro.generators import fem_element_batches
+
+        batches, n_nodes = fem_element_batches(nx=6, ny=5, batches=4, seed=0)
+        K = repro.spkadd(batches, method="hash").matrix
+        dense = K.to_dense()
+        assert dense.shape == (n_nodes, n_nodes)
+        # global stiffness is symmetric with zero row sums (pure Neumann)
+        assert np.allclose(dense, dense.T)
+        assert np.allclose(dense.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_graph_stream(self):
+        from repro.generators import graph_stream_batches
+
+        batches = graph_stream_batches(
+            n_vertices=128, batches=5, edges_per_batch=60, skew=1.0, seed=0
+        )
+        assert len(batches) == 5
+        assert all(b.shape == (128, 128) for b in batches)

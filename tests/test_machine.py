@@ -1,0 +1,224 @@
+"""Tests for the machine model: specs, caches, cost model, tracer."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import KernelStats
+from repro.machine.cache import (
+    LRUCache,
+    analytic_miss_fraction,
+    direct_mapped_misses,
+    expected_cold_misses,
+)
+from repro.machine.costmodel import (
+    CostModel,
+    SimulatedTime,
+    algorithm_family,
+)
+from repro.machine.spec import (
+    AMD_EPYC_7551,
+    CORI_KNL,
+    INTEL_SKYLAKE_8160,
+    PLATFORMS,
+)
+from repro.machine.tracer import replay_table_traces
+
+
+class TestSpec:
+    def test_table2_values(self):
+        assert INTEL_SKYLAKE_8160.llc_bytes == 32 * 1024 * 1024
+        assert INTEL_SKYLAKE_8160.cores == 48
+        assert AMD_EPYC_7551.llc_bytes == 8 * 1024 * 1024
+        assert AMD_EPYC_7551.cores == 64
+        assert CORI_KNL.cores == 68
+        assert CORI_KNL.l2_bytes == 0
+
+    def test_scaled_divides_capacities(self):
+        s = INTEL_SKYLAKE_8160.scaled(16)
+        assert s.llc_bytes == INTEL_SKYLAKE_8160.llc_bytes // 16
+        assert s.l1_bytes == INTEL_SKYLAKE_8160.l1_bytes // 16
+        # clock and bandwidth unchanged (uniform time extrapolation)
+        assert s.clock_hz == INTEL_SKYLAKE_8160.clock_hz
+        assert s.mem_bw_bytes_s == INTEL_SKYLAKE_8160.mem_bw_bytes_s
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            INTEL_SKYLAKE_8160.scaled(0)
+
+    def test_bw_saturates(self):
+        mc = INTEL_SKYLAKE_8160
+        assert mc.bw_at(1) == pytest.approx(mc.core_bw)
+        assert mc.bw_at(1000) == mc.mem_bw_bytes_s
+
+    def test_llc_share(self):
+        assert INTEL_SKYLAKE_8160.llc_share_bytes(48) == (32 << 20) // 48
+
+    def test_platform_registry(self):
+        assert set(PLATFORMS) == {"skylake", "epyc", "knl"}
+
+
+class TestAnalyticMiss:
+    def test_fits_no_miss(self):
+        assert analytic_miss_fraction(100, 200) == 0.0
+
+    def test_double_half_miss(self):
+        assert analytic_miss_fraction(200, 100) == pytest.approx(0.5)
+
+    def test_degenerate(self):
+        assert analytic_miss_fraction(0, 100) == 0.0
+        assert analytic_miss_fraction(100, 0) == 1.0
+
+    def test_cold_misses(self):
+        assert expected_cold_misses(640, 64, 2) == 20
+        assert expected_cold_misses(0, 64, 5) == 0
+
+
+class TestDirectMapped:
+    def test_no_conflicts(self):
+        # distinct lines, each its own set: all cold misses
+        assert direct_mapped_misses(np.arange(32), 64) == 32
+
+    def test_repeat_hits(self):
+        addrs = np.tile(np.arange(8), 10)
+        assert direct_mapped_misses(addrs, 64) == 8
+
+    def test_conflict_thrashing(self):
+        # lines 0 and 64 map to the same set of a 64-set cache
+        addrs = np.array([0, 64] * 50)
+        assert direct_mapped_misses(addrs, 64) == 100
+
+    def test_empty(self):
+        assert direct_mapped_misses(np.empty(0, dtype=np.int64), 16) == 0
+
+
+class TestLRU:
+    def test_cold_then_hit(self):
+        c = LRUCache(64 * 64, 64, ways=4)
+        assert c.access_lines(np.arange(32)) == 32
+        c.reset_stats()
+        c.access_lines(np.arange(32))
+        assert c.misses == 0 and c.hits == 32
+
+    def test_capacity_eviction(self):
+        c = LRUCache(8 * 64, 64, ways=8)  # 8 lines fully associative
+        c.access_lines(np.arange(9))      # line 0 evicted
+        c.reset_stats()
+        c.access_lines(np.array([0]))
+        assert c.misses == 1
+
+    def test_lru_policy(self):
+        c = LRUCache(4 * 64, 64, ways=4)  # one set, 4 ways
+        c.access_lines(np.array([0, 4, 8, 12]))  # fill
+        c.access_lines(np.array([0]))            # refresh 0
+        c.access_lines(np.array([16]))           # evicts LRU = 4
+        c.reset_stats()
+        c.access_lines(np.array([0]))
+        assert c.misses == 0
+        c.access_lines(np.array([4]))
+        assert c.misses == 1
+
+    def test_access_bytes(self):
+        c = LRUCache(1024, 64, ways=2)
+        c.access_bytes(np.array([0, 8, 16]))  # same line
+        assert c.misses == 1 and c.hits == 2
+
+
+class TestCostModel:
+    def make_stats(self, **kw):
+        st = KernelStats(algorithm="hash", k=8, n_cols=16)
+        st.ops = 1_000_000
+        st.bytes_read = 8_000_000
+        st.bytes_written = 1_000_000
+        st.add_table_traffic(32 * 1024, 1_000_000)
+        for key, val in kw.items():
+            setattr(st, key, val)
+        return st
+
+    def test_family_resolution(self):
+        assert algorithm_family("hash") == "hash"
+        assert algorithm_family("hash_symbolic") == "hash_symbolic"
+        assert algorithm_family("sliding_hash[T=4]") == "sliding_hash"
+        assert algorithm_family("heap[merge]") == "heap"
+        assert algorithm_family("unknown_thing") == "default"
+
+    def test_more_threads_faster(self):
+        st = self.make_stats()
+        t1 = CostModel(INTEL_SKYLAKE_8160, 1).time(st).total
+        t8 = CostModel(INTEL_SKYLAKE_8160, 8).time(st).total
+        assert t8 < t1
+
+    def test_bigger_table_slower(self):
+        mc = CostModel(INTEL_SKYLAKE_8160, 48)
+        small = self.make_stats()
+        big = self.make_stats()
+        big.table_traffic = {512 * 1024 * 1024: 1_000_000.0}
+        assert mc.time(big).total > mc.time(small).total
+
+    def test_imbalance_needs_col_ops(self):
+        st = self.make_stats()
+        st.col_ops = np.zeros(16)
+        st.col_ops[0] = 1000.0
+        static = CostModel(INTEL_SKYLAKE_8160, 8, schedule="static")
+        assert static.time(st).imbalance > 1.5
+
+    def test_spa_init_term(self):
+        st = self.make_stats()
+        st.algorithm = "spa"
+        st.ds_bytes_peak = 4_000_000 * 12
+        t = CostModel(INTEL_SKYLAKE_8160, 48).time(st)
+        assert t.init > 0.05  # the paper's ~0.12s floor at m=4M
+
+    def test_pairwise_launch_overhead(self):
+        st = self.make_stats()
+        st.algorithm = "2way_incremental"
+        st.k = 128
+        t = CostModel(INTEL_SKYLAKE_8160, 48).time(st)
+        st.k = 4
+        t4 = CostModel(INTEL_SKYLAKE_8160, 48).time(st)
+        assert t.fixed > t4.fixed
+
+    def test_extrapolate_components(self):
+        t = SimulatedTime(compute=1.0, init=0.5, fixed=0.25)
+        assert t.extrapolate(10, 2) == pytest.approx(10 + 1.0 + 0.25)
+
+    def test_bandwidth_floor(self):
+        st = self.make_stats()
+        st.bytes_read = 1e12  # enormous streaming
+        t = CostModel(INTEL_SKYLAKE_8160, 48).time(st)
+        assert t.total >= 1e12 / INTEL_SKYLAKE_8160.mem_bw_bytes_s
+
+    def test_two_phase_additive(self):
+        st = self.make_stats()
+        cm = CostModel(INTEL_SKYLAKE_8160, 4)
+        one = cm.time(st).total
+        two = cm.time_two_phase(st, st).total
+        assert two == pytest.approx(2 * one, rel=1e-6)
+
+
+class TestTracer:
+    def test_replay_counts(self):
+        traces = [(1024, 8, np.arange(1024)), (1024, 8, np.arange(1024))]
+        rep = replay_table_traces(traces, INTEL_SKYLAKE_8160, threads=1)
+        assert rep["accesses"] == 2048
+        # second pass over an in-LLC table: mostly hits
+        assert rep["misses"] < 300
+
+    def test_replay_thrashing_when_small_share(self):
+        tiny = INTEL_SKYLAKE_8160.scaled(10000)
+        slots = np.random.default_rng(0).integers(0, 1 << 16, 20_000)
+        rep = replay_table_traces(
+            [(1 << 16, 8, slots)], tiny, threads=8
+        )
+        assert rep["miss_rate"] > 0.5
+
+    def test_sampling_scales(self):
+        slots = np.random.default_rng(0).integers(0, 4096, 50_000)
+        rep = replay_table_traces(
+            [(4096, 8, slots)], INTEL_SKYLAKE_8160, max_accesses=5_000
+        )
+        assert rep["simulated_accesses"] <= 5_000
+        assert rep["accesses"] == 50_000
+
+    def test_empty_traces(self):
+        rep = replay_table_traces([], INTEL_SKYLAKE_8160)
+        assert rep["misses"] == 0

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategies build small random matrix collections; properties assert the
+paper's algebraic invariants hold for *every* kernel:
+
+* every SpKAdd method equals the scipy oracle;
+* symbolic counts equal exact union sizes;
+* nnz(B) <= sum nnz(A_i) (cf >= 1);
+* hash accumulation is insertion-order independent;
+* format conversions are lossless;
+* sliding partitioning never changes the result.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import spkadd
+from repro.core.hash_add import hash_symbolic
+from repro.core.hashtable import hash_accumulate
+from repro.core.sliding_hash import spkadd_sliding_hash
+from repro.core.symbolic import exact_output_col_nnz
+from repro.formats.convert import coo_to_csc, csc_to_coo, csc_to_csr, csr_to_csc
+from repro.formats.csc import CSCMatrix
+from repro.formats.ops import matrices_equal, sum_with_scipy
+
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def csc_matrix(draw, max_m=40, max_n=8, max_nnz=60):
+    m = draw(st.integers(1, max_m))
+    n = draw(st.integers(1, max_n))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False, width=32),
+            min_size=nnz, max_size=nnz,
+        )
+    )
+    return CSCMatrix.from_arrays(
+        (m, n), np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64), np.array(vals, dtype=np.float64),
+    )
+
+
+@st.composite
+def matrix_collection(draw, max_k=6):
+    m = draw(st.integers(2, 40))
+    n = draw(st.integers(1, 6))
+    k = draw(st.integers(1, max_k))
+    mats = []
+    for _ in range(k):
+        nnz = draw(st.integers(0, 40))
+        rows = np.asarray(
+            draw(st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz)),
+            dtype=np.int64,
+        )
+        cols = np.asarray(
+            draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)),
+            dtype=np.int64,
+        )
+        vals = np.asarray(
+            draw(
+                st.lists(
+                    st.floats(-10, 10, allow_nan=False, width=32),
+                    min_size=nnz, max_size=nnz,
+                )
+            ),
+            dtype=np.float64,
+        )
+        mats.append(CSCMatrix.from_arrays((m, n), rows, cols, vals))
+    return mats
+
+
+def dense_sum(mats):
+    return sum(m.to_dense() for m in mats)
+
+
+@settings(**COMMON)
+@given(matrix_collection())
+def test_every_method_matches_oracle(mats):
+    # Dense-value comparison: our kernels keep explicit zeros produced
+    # by cancellation (structural nnz semantics), scipy prunes them.
+    expect = dense_sum(mats)
+    for method in ("2way_tree", "heap", "spa", "hash", "sliding_hash"):
+        got = spkadd(mats, method=method).matrix
+        assert np.allclose(got.to_dense(), expect, atol=1e-6), method
+
+
+@settings(**COMMON)
+@given(matrix_collection())
+def test_output_nnz_bounded_by_input(mats):
+    total_in = sum(m.nnz for m in mats)
+    out = spkadd(mats, method="hash").matrix
+    assert out.nnz <= total_in
+
+
+@settings(**COMMON)
+@given(matrix_collection())
+def test_symbolic_equals_exact(mats):
+    assert np.array_equal(
+        hash_symbolic(mats), exact_output_col_nnz(mats)
+    )
+
+
+@settings(**COMMON)
+@given(matrix_collection())
+def test_sliding_partitioning_invariant(mats):
+    """Any partition count gives the identical sum."""
+    expect = dense_sum(mats)
+    for entries in (4, 64):
+        got = spkadd_sliding_hash(mats, table_entries=entries)
+        assert np.allclose(got.to_dense(), expect, atol=1e-6)
+
+
+@settings(**COMMON)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.floats(-5, 5, allow_nan=False)),
+        min_size=0, max_size=80,
+    ),
+    st.randoms(),
+)
+def test_hash_accumulate_order_independent(pairs, rnd):
+    """Hash accumulation is a commutative reduction: any insertion
+    order yields the same key->sum mapping."""
+    keys = np.array([p[0] for p in pairs], dtype=np.int64)
+    vals = np.array([p[1] for p in pairs], dtype=np.float64)
+    res1 = hash_accumulate(keys, vals, 128)
+    perm = np.array(rnd.sample(range(len(pairs)), len(pairs)), dtype=np.int64)
+    res2 = hash_accumulate(keys[perm], vals[perm], 128)
+    d1 = dict(zip(res1.keys.tolist(), res1.vals.tolist()))
+    d2 = dict(zip(res2.keys.tolist(), res2.vals.tolist()))
+    assert set(d1) == set(d2)
+    for k in d1:
+        assert abs(d1[k] - d2[k]) < 1e-9
+
+
+@settings(**COMMON)
+@given(csc_matrix())
+def test_format_roundtrips(mat):
+    assert matrices_equal(coo_to_csc(csc_to_coo(mat)), mat)
+    assert matrices_equal(csr_to_csc(csc_to_csr(mat)), mat)
+
+
+@settings(**COMMON)
+@given(csc_matrix())
+def test_column_split_concat_identity(mat):
+    n = mat.shape[1]
+    if n < 2:
+        return
+    cut = n // 2
+    left = mat.select_columns(0, cut)
+    right = mat.select_columns(cut, n)
+    rebuilt = np.concatenate([left.to_dense(), right.to_dense()], axis=1)
+    assert np.array_equal(rebuilt, mat.to_dense())
+
+
+@settings(**COMMON)
+@given(matrix_collection(), st.integers(1, 4))
+def test_parallel_equals_sequential(mats, threads):
+    seq = spkadd(mats, method="hash").matrix
+    par = spkadd(mats, method="hash", threads=threads).matrix
+    assert matrices_equal(seq, par)
+
+
+@settings(**COMMON)
+@given(matrix_collection(), st.integers(1, 5))
+def test_streaming_batch_size_invariant(mats, batch):
+    from repro.core.streaming import spkadd_streaming
+
+    expect = dense_sum(mats)
+    got = spkadd_streaming(mats, batch_size=batch)
+    assert np.allclose(got.to_dense(), expect, atol=1e-6)

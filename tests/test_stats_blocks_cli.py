@@ -1,0 +1,128 @@
+"""Tests for KernelStats bookkeeping, the block gather layer and the CLI."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import (
+    assemble_from_block_outputs,
+    choose_block_cols,
+    composite_keys,
+    gather_block,
+    iter_col_blocks,
+    split_keys,
+)
+from repro.core.stats import KernelStats
+from repro.formats.csc import CSCMatrix
+from repro.formats.ops import matrices_equal
+from tests.conftest import random_collection
+
+
+class TestKernelStats:
+    def test_table_traffic_accumulates(self):
+        st = KernelStats()
+        st.add_table_traffic(1024, 10)
+        st.add_table_traffic(1024, 5)
+        st.add_table_traffic(2048, 1)
+        assert st.table_traffic == {1024: 15.0, 2048: 1.0}
+        assert st.total_table_accesses == 16.0
+
+    def test_negative_traffic_ignored(self):
+        st = KernelStats()
+        st.add_table_traffic(64, 0)
+        st.add_table_traffic(64, -5)
+        assert st.table_traffic == {}
+
+    def test_avg_probe_length(self):
+        st = KernelStats(ops=100, probes=25)
+        assert st.avg_probe_length == 0.25
+        assert KernelStats().avg_probe_length == 0.0
+
+    def test_merge_scalars(self):
+        a = KernelStats(ops=10, probes=1, input_nnz=5, bytes_read=100)
+        b = KernelStats(ops=20, probes=2, input_nnz=7, bytes_written=50)
+        a.merge(b)
+        assert a.ops == 30 and a.probes == 3
+        assert a.input_nnz == 12
+        assert a.total_bytes == 150
+
+    def test_merge_col_arrays_added(self):
+        a = KernelStats(col_ops=np.array([1.0, 2.0]))
+        b = KernelStats(col_ops=np.array([10.0, 20.0]))
+        a.merge(b)
+        assert list(a.col_ops) == [11.0, 22.0]
+
+    def test_merge_takes_max_of_peaks(self):
+        a = KernelStats(ds_bytes_peak=100, parts=2)
+        a.merge(KernelStats(ds_bytes_peak=50, parts=5))
+        assert a.ds_bytes_peak == 100
+        assert a.parts == 5
+
+    def test_summary_contains_algorithm(self):
+        st = KernelStats(algorithm="hash", k=4, n_cols=2)
+        assert "hash" in st.summary()
+
+
+class TestBlocks:
+    def test_iter_col_blocks_cover(self):
+        spans = list(iter_col_blocks(10, 3))
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_choose_block_cols_bounds(self):
+        mats = random_collection(1, 100, 16, 4)
+        bc = choose_block_cols(mats)
+        assert 1 <= bc <= 16
+
+    def test_choose_block_cols_empty(self):
+        assert choose_block_cols([CSCMatrix.zeros((5, 7))]) == 7
+
+    def test_gather_block_counts(self):
+        mats = random_collection(2, 50, 8, 3)
+        cols, rows, vals, in_nnz = gather_block(mats, 2, 6)
+        assert rows.size == sum(
+            int(m.col_nnz()[2:6].sum()) for m in mats
+        )
+        assert int(in_nnz.sum()) == rows.size
+        assert cols.min() >= 0 and cols.max() < 4
+
+    def test_composite_keys_roundtrip(self):
+        cols = np.array([0, 1, 3], dtype=np.int64)
+        rows = np.array([5, 0, 49], dtype=np.int64)
+        keys = composite_keys(cols, rows, 50)
+        c2, r2 = split_keys(keys, 50)
+        assert np.array_equal(c2, cols)
+        assert np.array_equal(r2, rows)
+
+    def test_assemble_out_of_order_blocks(self):
+        # blocks arriving out of order must still stitch correctly
+        b0 = (0, np.array([0, 1]), np.array([2, 3]), np.array([1.0, 2.0]))
+        b1 = (2, np.array([0]), np.array([1]), np.array([5.0]))
+        out = assemble_from_block_outputs((4, 3), [b1, b0], sorted=True)
+        dense = out.to_dense()
+        assert dense[2, 0] == 1.0 and dense[3, 1] == 2.0 and dense[1, 2] == 5.0
+
+
+class TestCLI:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, text=True, timeout=300,
+        )
+
+    def test_demo(self):
+        proc = self.run_cli(
+            "demo", "--m", "512", "--n", "8", "--d", "4", "--k", "4"
+        )
+        assert proc.returncode == 0, proc.stderr[-500:]
+        assert "hash" in proc.stdout
+
+    def test_platforms(self):
+        proc = self.run_cli("platforms")
+        assert proc.returncode == 0
+        assert "Skylake" in proc.stdout
+
+    def test_requires_command(self):
+        proc = self.run_cli()
+        assert proc.returncode != 0

@@ -1,0 +1,90 @@
+"""Tests for repro.util.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.util.hashing import (
+    HASH_PRIME,
+    hash_indices,
+    multiplicative_hash,
+    next_pow2,
+    table_size_for,
+)
+
+
+class TestNextPow2:
+    def test_zero_and_one(self):
+        assert next_pow2(0) == 1
+        assert next_pow2(1) == 1
+
+    def test_exact_powers_unchanged(self):
+        for e in range(12):
+            assert next_pow2(1 << e) == 1 << e
+
+    def test_rounds_up(self):
+        assert next_pow2(3) == 4
+        assert next_pow2(5) == 8
+        assert next_pow2(1025) == 2048
+
+    def test_large(self):
+        assert next_pow2((1 << 40) - 3) == 1 << 40
+
+
+class TestTableSizeFor:
+    def test_power_of_two(self):
+        for n in [0, 1, 7, 100, 12345]:
+            size = table_size_for(n)
+            assert size & (size - 1) == 0
+
+    def test_strictly_greater_than_keys(self):
+        for n in [1, 16, 100, 4096]:
+            assert table_size_for(n) > n
+
+    def test_load_factor_bounded(self):
+        for n in [3, 24, 97, 1000, 5000]:
+            assert n <= 0.75 * table_size_for(n)
+
+    def test_min_size(self):
+        assert table_size_for(0) >= 16
+        assert table_size_for(0, min_size=4) >= 4
+
+
+class TestMultiplicativeHash:
+    def test_in_range(self):
+        for key in [0, 1, 17, 123456, 2**31]:
+            h = multiplicative_hash(key, 256)
+            assert 0 <= h < 256
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            multiplicative_hash(1, 100)
+
+    def test_deterministic(self):
+        assert multiplicative_hash(42, 64) == multiplicative_hash(42, 64)
+
+    def test_matches_paper_formula(self):
+        # HASH(r) = (a * r) & (2^q - 1)
+        r, q = 1234, 10
+        assert multiplicative_hash(r, 1 << q) == (HASH_PRIME * r) & ((1 << q) - 1)
+
+
+class TestHashIndices:
+    def test_matches_scalar(self):
+        keys = np.array([0, 1, 5, 99, 12345, 2**40], dtype=np.int64)
+        vec = hash_indices(keys, 512)
+        for k, h in zip(keys, vec):
+            assert int(h) == multiplicative_hash(int(k), 512)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            hash_indices(np.arange(4), 100)
+
+    def test_output_range(self):
+        keys = np.arange(10_000, dtype=np.int64)
+        h = hash_indices(keys, 1024)
+        assert h.min() >= 0 and h.max() < 1024
+
+    def test_spreads_keys(self):
+        # sequential keys should not all collide
+        h = hash_indices(np.arange(1024, dtype=np.int64), 1024)
+        assert len(np.unique(h)) > 512

@@ -1,0 +1,68 @@
+"""Tests for repro.util rng/timer/checks."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csc import CSCMatrix
+from repro.util.checks import check_nonempty, check_same_shape, require
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.timer import Timer
+
+
+class TestRng:
+    def test_int_seed_reproducible(self):
+        a = default_rng(42).random(5)
+        b = default_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert default_rng(g) is g
+
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_spawned_rngs_independent(self):
+        r1, r2 = spawn_rngs(0, 2)
+        assert not np.array_equal(r1.random(10), r2.random(10))
+
+    def test_spawn_reproducible(self):
+        a = [g.random() for g in spawn_rngs(3, 4)]
+        b = [g.random() for g in spawn_rngs(3, 4)]
+        assert a == b
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0
+
+    def test_lap_monotone(self):
+        t = Timer()
+        t.restart()
+        a = t.lap()
+        b = t.lap()
+        assert b >= a
+
+
+class TestChecks:
+    def test_require_passes(self):
+        require(True, "ok")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_nonempty(self):
+        with pytest.raises(ValueError):
+            check_nonempty([])
+
+    def test_same_shape_ok(self):
+        mats = [CSCMatrix.zeros((3, 4)), CSCMatrix.zeros((3, 4))]
+        assert check_same_shape(mats) == (3, 4)
+
+    def test_same_shape_mismatch(self):
+        mats = [CSCMatrix.zeros((3, 4)), CSCMatrix.zeros((4, 3))]
+        with pytest.raises(ValueError):
+            check_same_shape(mats)
