@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark driver emitting a machine-readable BENCH_PR.json.
+
+Every PR runs ``python benchmarks/run_all.py --quick`` and commits the
+resulting ``BENCH_PR.json`` so the repo carries its own performance
+trajectory: per-kernel wall-clock seconds, abstract op counts (where the
+backend meters them), and the headline fast-vs-instrumented speedup of
+the hash kernel.
+
+Modes
+-----
+``--quick``
+    One ER workload at the ISSUE-1 acceptance point (k=8 matrices,
+    m=2^16 rows): every method once per relevant backend, 3 repeats,
+    best-of.  Finishes in well under a minute — suitable for CI.
+default (no flag)
+    Adds the RMAT pattern, a larger k, and thread sweeps.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick
+    PYTHONPATH=src python benchmarks/run_all.py --out BENCH_PR.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+# Allow running straight from a checkout without installing.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+import repro  # noqa: E402
+from repro.generators import (  # noqa: E402
+    erdos_renyi_collection,
+    rmat_collection,
+)
+
+#: the ISSUE-1 acceptance workload: k=8 matrices of dimension n=2^16.
+QUICK_M, QUICK_N, QUICK_D, QUICK_K = 1 << 16, 4096, 8.0, 8
+
+from repro.core.api import BACKEND_AWARE_METHODS  # noqa: E402
+
+
+def _time_call(fn, repeats: int):
+    """Best-of-``repeats`` wall-clock seconds (and the last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_workload(name, mats, methods, *, threads, repeats, records):
+    total_in = sum(A.nnz for A in mats)
+    for method in methods:
+        backends = (
+            ("fast", "instrumented") if method in BACKEND_AWARE_METHODS else (None,)
+        )
+        for backend in backends:
+            kwargs = {"backend": backend} if backend else {}
+            wall, res = _time_call(
+                lambda: repro.spkadd(
+                    mats, method=method, threads=threads, **kwargs
+                ),
+                repeats,
+            )
+            rec = {
+                "workload": name,
+                "method": method,
+                "backend": backend or "-",
+                "threads": threads,
+                "wall_s": round(wall, 6),
+                "input_nnz": total_in,
+                "output_nnz": res.matrix.nnz,
+                "ops": float(res.stats.ops),
+                "probes": float(res.stats.probes),
+            }
+            records.append(rec)
+            print(
+                f"  {name:14s} {method:18s} {rec['backend']:13s} "
+                f"T={threads} {wall * 1e3:9.1f} ms  "
+                f"ops={rec['ops']:.3g}"
+            )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI preset: one ER workload, core methods only")
+    ap.add_argument("--out", default="BENCH_PR.json",
+                    help="output JSON path (default: BENCH_PR.json)")
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+
+    records = []
+    t_start = time.time()
+
+    print(f"ER workload: k={QUICK_K}, m={QUICK_M}, n={QUICK_N}, d={QUICK_D}")
+    er = erdos_renyi_collection(
+        QUICK_M, QUICK_N, d=QUICK_D, k=QUICK_K, seed=11
+    )
+    quick_methods = ["hash", "sliding_hash", "spa", "heap", "scipy_tree"]
+    bench_workload(
+        "er_k8_n65536", er, quick_methods,
+        threads=1, repeats=args.repeats, records=records,
+    )
+
+    if not args.quick:
+        print("RMAT workload: k=16, m=2^15, n=64, d=16")
+        rm = rmat_collection(1 << 15, 64, d=16.0, k=16, seed=12)
+        bench_workload(
+            "rmat_k16_m32768", rm,
+            ["hash", "sliding_hash", "spa", "heap", "2way_tree"],
+            threads=1, repeats=args.repeats, records=records,
+        )
+        for threads in (2, 4):
+            bench_workload(
+                "er_k8_n65536", er, ["hash"],
+                threads=threads, repeats=args.repeats, records=records,
+            )
+
+    def wall_of(method, backend):
+        for r in records:
+            if (r["workload"] == "er_k8_n65536" and r["method"] == method
+                    and r["backend"] == backend and r["threads"] == 1):
+                return r["wall_s"]
+        return None
+
+    fast = wall_of("hash", "fast")
+    inst = wall_of("hash", "instrumented")
+    speedup = round(inst / fast, 2) if fast and inst else None
+    print(f"\nhash fast-vs-instrumented speedup (k=8, m=2^16): {speedup}x")
+
+    payload = {
+        "schema": 1,
+        "preset": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "elapsed_s": round(time.time() - t_start, 1),
+        "headline": {"hash_fast_vs_instrumented_speedup": speedup},
+        "results": records,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,9 @@ def main() -> None:
 
     # The reduction: hash SpKAdd (one pass) vs pairwise folding.
     t0 = time.perf_counter()
-    fused = repro.spkadd(updates, method="hash")
+    # instrumented backend: this example compares abstract *work*, which
+    # only the paper-faithful probing engine meters.
+    fused = repro.spkadd(updates, method="hash", backend="instrumented")
     t_fused = time.perf_counter() - t0
     t0 = time.perf_counter()
     folded = repro.spkadd(updates, method="scipy_incremental")

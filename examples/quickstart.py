@@ -27,8 +27,16 @@ def main() -> None:
     cost_model = CostModel(INTEL_SKYLAKE_8160.scaled(256), threads=8)
     print(f"{'method':20s} {'nnz(B)':>8s} {'cf':>6s} {'ops':>10s} "
           f"{'probes':>8s} {'IO MB':>7s} {'sim ms':>8s}")
+    from repro.core.api import BACKEND_AWARE_METHODS
+
     for method in repro.available_methods():
-        res = repro.spkadd(mats, method=method)
+        # Paper-style statistics need the instrumented accumulation
+        # engine; the facade's default "fast" backend reports no slot ops.
+        kw = (
+            {"backend": "instrumented"}
+            if method in BACKEND_AWARE_METHODS else {}
+        )
+        res = repro.spkadd(mats, method=method, **kw)
         B = res.matrix.copy()
         B.sort_indices()
         if reference is None:
@@ -43,7 +51,7 @@ def main() -> None:
 
     # The headline: the hash algorithm touches each input entry once
     # (work-optimal), while pairwise addition re-reads partial sums.
-    hash_res = repro.spkadd(mats, method="hash")
+    hash_res = repro.spkadd(mats, method="hash", backend="instrumented")
     inc_res = repro.spkadd(mats, method="2way_incremental")
     print(
         f"\n2-way incremental reads {inc_res.stats.input_nnz / total_in:.1f}x "

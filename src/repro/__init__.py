@@ -18,6 +18,7 @@ Subpackages
 ``repro.formats``      CSC/CSR/COO sparse storage (built from scratch)
 ``repro.generators``   ER, R-MAT, protein-surrogate and workload generators
 ``repro.core``         the SpKAdd algorithms (Algorithms 1-8 + extensions)
+``repro.kernels``      accumulation backends (instrumented probing / fast sort-reduce)
 ``repro.parallel``     column-parallel execution and scheduling
 ``repro.machine``      machine specs, cache simulation, calibrated cost model
 ``repro.distributed``  simulated sparse SUMMA SpGEMM (the paper's application)
@@ -27,12 +28,15 @@ Subpackages
 from repro.core.api import SpKAddResult, available_methods, spkadd
 from repro.core.stats import KernelStats
 from repro.formats import CSCMatrix, CSRMatrix, COOMatrix
+from repro.kernels import available_backends, get_backend
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SpKAddResult",
     "available_methods",
+    "available_backends",
+    "get_backend",
     "spkadd",
     "KernelStats",
     "CSCMatrix",

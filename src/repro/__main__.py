@@ -29,9 +29,17 @@ def _cmd_demo(args) -> int:
     gen = erdos_renyi_collection if args.pattern == "er" else rmat_collection
     mats = gen(args.m, args.n, d=args.d, k=args.k, seed=args.seed)
     print(f"{args.pattern.upper()} workload: k={args.k}, "
-          f"{args.m}x{args.n}, d={args.d}")
+          f"{args.m}x{args.n}, d={args.d} "
+          f"[backend={args.backend}, executor={args.executor}, "
+          f"threads={args.threads}]")
+    from repro.core.api import BACKEND_AWARE_METHODS
+
     for method in repro.available_methods():
-        res = repro.spkadd(mats, method=method)
+        res = repro.spkadd(
+            mats, method=method, threads=args.threads,
+            executor=args.executor,
+            backend=args.backend if method in BACKEND_AWARE_METHODS else None,
+        )
         print(f"  {method:20s} nnz={res.matrix.nnz:<9d} "
               f"{res.stats.summary()}")
     return 0
@@ -113,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--d", type=float, default=16.0)
     d.add_argument("--k", type=int, default=16)
     d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--backend", choices=["auto", "fast", "instrumented"],
+                   default="auto",
+                   help="accumulation engine for hash-family methods "
+                        "(auto = REPRO_BACKEND env var, then 'fast')")
+    d.add_argument("--executor", choices=["thread", "process"],
+                   default="thread",
+                   help="worker pool flavour when --threads > 1")
+    d.add_argument("--threads", type=int, default=1)
     d.set_defaults(func=_cmd_demo)
 
     sub.add_parser("table3", help="Table III").set_defaults(

@@ -6,7 +6,11 @@
 
 ``method`` selects the paper's algorithms by name; ``threads`` routes
 through the shared-memory executor (columns are partitioned among
-threads with the paper's load-balancing rule).
+threads with the paper's load-balancing rule).  ``backend`` selects the
+accumulation engine for the hash-family methods — ``"fast"``
+(sort/reduce, the production default) or ``"instrumented"`` (the
+paper-faithful probing table that produces slot-op/probe/cache stats) —
+and ``executor="process"`` swaps the thread pool for a process pool.
 """
 
 from __future__ import annotations
@@ -53,6 +57,17 @@ class SpKAddResult:
 
 _TWO_PHASE = {"hash", "hash_unsorted", "sliding_hash", "sliding_hash_unsorted"}
 
+#: methods that accept a ``backend=`` accumulation-engine kwarg — the
+#: single source of truth; the executor, CLI, SUMMA driver and
+#: benchmarks all import this set.
+BACKEND_AWARE_METHODS = frozenset({"hash", "sliding_hash"})
+
+#: the facade's default engine: production callers who never read the
+#: slot-level statistics get the fast sort/reduce path automatically;
+#: paper reproductions pass ``backend="instrumented"`` (or call the
+#: kernel functions directly, whose default is instrumented).
+DEFAULT_FACADE_BACKEND = "fast"
+
 
 def _run_hash(mats, *, sorted_output, **kw):
     st_sym = KernelStats()
@@ -91,6 +106,8 @@ def spkadd(
     threads: int = 1,
     machine=None,
     sorted_output: bool = True,
+    backend: Optional[str] = None,
+    executor: str = "thread",
     **kwargs,
 ) -> SpKAddResult:
     """Add a collection of sparse matrices: ``B = sum_i A_i``.
@@ -108,13 +125,31 @@ def spkadd(
         (Algorithms 5+6), ``"sliding_hash"`` (Algorithms 7+8).
     threads:
         >1 runs the column-parallel executor (no synchronization; the
-        paper's Section III-A scheme) with this many worker threads.
+        paper's Section III-A scheme) with this many workers.
     machine:
         A :class:`~repro.machine.spec.MachineSpec`; the sliding-hash
         method derives its cache budget from it (LLC bytes).
     sorted_output:
         Hash-family methods can skip the final per-column sort; other
-        methods always emit sorted columns.
+        methods always emit sorted columns.  With the ``fast`` backend
+        the output is sorted either way (sortedness is a free byproduct
+        of its sort/reduce), so ``False`` only changes behaviour on the
+        instrumented engine.
+    backend:
+        Accumulation engine for the hash-family methods (see
+        :mod:`repro.kernels`): ``"fast"`` — sort/segmented-reduce,
+        bit-identical matrices, no slot-level stats — or
+        ``"instrumented"`` — the paper-faithful probing hash table whose
+        stats feed the cost model.  ``None`` consults the
+        ``REPRO_BACKEND`` environment variable and then defaults to
+        ``"fast"``: production callers who don't ask for paper
+        statistics get the fast engine automatically.  Ignored by
+        non-hash methods.
+    executor:
+        ``"thread"`` (shared-memory pool; NumPy kernels release the GIL)
+        or ``"process"`` (a ``ProcessPoolExecutor`` that sidesteps the
+        GIL entirely; column chunks are shipped as pickled views).  Only
+        consulted when ``threads > 1``.
 
     Returns
     -------
@@ -126,13 +161,26 @@ def spkadd(
         raise ValueError(
             f"unknown method {method!r}; choose from {available_methods()}"
         )
+    if method in BACKEND_AWARE_METHODS:
+        from repro.kernels import resolve_backend
+
+        kwargs["backend"] = resolve_backend(
+            backend,
+            default=DEFAULT_FACADE_BACKEND,
+            need_trace=kwargs.get("trace_sink") is not None,
+        ).name
+    elif backend not in (None, "auto"):
+        raise ValueError(
+            f"method {method!r} does not take a backend (hash-family only)"
+        )
     if machine is not None and method == "sliding_hash":
         kwargs.setdefault("cache_bytes", machine.llc_bytes)
     if threads > 1:
         from repro.parallel.executor import parallel_spkadd
 
         return parallel_spkadd(
-            mats, method, threads=threads, sorted_output=sorted_output, **kwargs
+            mats, method, threads=threads, sorted_output=sorted_output,
+            executor=executor, **kwargs
         )
     if method == "sliding_hash" and "cache_bytes" in kwargs:
         kwargs.setdefault("threads", threads)

@@ -10,7 +10,7 @@ processing.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,8 +41,42 @@ def iter_col_blocks(n_cols: int, block_cols: int) -> Iterator[Tuple[int, int]]:
         j0 = j1
 
 
+class BlockScratch:
+    """Reusable gather buffers for :func:`gather_block`.
+
+    One kernel invocation processes many column blocks; allocating fresh
+    ``cols``/``rows``/``vals`` arrays (plus a k-way ``np.concatenate``)
+    per block dominates the gather cost.  A scratch object amortizes
+    that: buffers grow geometrically to the largest block seen and every
+    gather after warm-up is pure slice copies into existing memory.
+
+    The arrays returned by a scratch-backed gather are **views** into
+    the buffers — consume them before the next ``gather_block`` call.
+    """
+
+    __slots__ = ("cols", "rows", "vals")
+
+    def __init__(self) -> None:
+        self.cols = np.empty(0, dtype=np.int64)
+        self.rows = np.empty(0, dtype=np.int64)
+        self.vals = np.empty(0, dtype=np.float64)
+
+    def reserve(self, n: int, value_dtype) -> None:
+        """Ensure capacity for ``n`` entries of ``value_dtype`` values."""
+        if self.cols.size < n:
+            cap = max(n, 2 * self.cols.size)
+            self.cols = np.empty(cap, dtype=np.int64)
+            self.rows = np.empty(cap, dtype=np.int64)
+        if self.vals.size < n or self.vals.dtype != np.dtype(value_dtype):
+            cap = max(n, 2 * self.vals.size)
+            self.vals = np.empty(cap, dtype=value_dtype)
+
+
 def gather_block(
-    mats: Sequence[CSCMatrix], j0: int, j1: int
+    mats: Sequence[CSCMatrix],
+    j0: int,
+    j1: int,
+    scratch: Optional[BlockScratch] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Concatenate the entries of columns ``[j0, j1)`` from all addends.
 
@@ -51,34 +85,45 @@ def gather_block(
     grouped matrix-major, column order within a matrix), and
     ``col_in_nnz[j]`` is the summed input nnz of block column ``j`` —
     the symbolic-phase load-balancing weight.
+
+    With a :class:`BlockScratch` the gather writes into preallocated
+    buffers and returns views; without one it allocates fresh arrays.
     """
     width = j1 - j0
-    cols_parts: List[np.ndarray] = []
-    rows_parts: List[np.ndarray] = []
-    vals_parts: List[np.ndarray] = []
     col_in = np.zeros(width, dtype=np.int64)
     arange = np.arange(width, dtype=np.int64)
+    parts = []
+    total = 0
     for A in mats:
         indptr, rows, vals = A.col_block(j0, j1)
         counts = np.diff(indptr)
         col_in += counts
         if rows.size:
-            cols_parts.append(np.repeat(arange, counts))
-            rows_parts.append(rows)
-            vals_parts.append(vals)
-    if rows_parts:
+            parts.append((counts, rows, vals))
+            total += rows.size
+    if not parts:
         return (
-            np.concatenate(cols_parts),
-            np.concatenate(rows_parts).astype(np.int64, copy=False),
-            np.concatenate(vals_parts),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
             col_in,
         )
-    return (
-        np.empty(0, dtype=np.int64),
-        np.empty(0, dtype=np.int64),
-        np.empty(0, dtype=np.float64),
-        col_in,
-    )
+    value_dtype = np.result_type(*[v.dtype for _, _, v in parts])
+    if scratch is None:
+        cols_buf = np.empty(total, dtype=np.int64)
+        rows_buf = np.empty(total, dtype=np.int64)
+        vals_buf = np.empty(total, dtype=value_dtype)
+    else:
+        scratch.reserve(total, value_dtype)
+        cols_buf, rows_buf, vals_buf = scratch.cols, scratch.rows, scratch.vals
+    pos = 0
+    for counts, rows, vals in parts:
+        nxt = pos + rows.size
+        cols_buf[pos:nxt] = np.repeat(arange, counts)
+        rows_buf[pos:nxt] = rows
+        vals_buf[pos:nxt] = vals
+        pos = nxt
+    return cols_buf[:total], rows_buf[:total], vals_buf[:total], col_in
 
 
 def composite_keys(cols_local: np.ndarray, rows: np.ndarray, m: int) -> np.ndarray:

@@ -14,9 +14,15 @@ Two phases, as in the paper (Section II-D):
 2. **Addition** (:func:`spkadd_hash`, Algorithm 5): accumulate values in
    a (row, value) table (8-byte entries) sized by the symbolic counts.
 
-Both phases use the vectorized linear-probing engine in
-:mod:`repro.core.hashtable` and record slot-visit/probe counts plus the
-table-size-bucketed random-access histogram the cache model consumes.
+Both phases dispatch their accumulation through a pluggable backend
+(:mod:`repro.kernels`).  The default ``instrumented`` backend is the
+vectorized linear-probing engine in :mod:`repro.core.hashtable` and
+records slot-visit/probe counts plus the table-size-bucketed
+random-access histogram the cache model consumes.  The ``fast`` backend
+replaces the table with a sort/segmented-reduce and — when no symbolic
+counts or traces are requested — fuses both phases into a single pass
+(:func:`_spkadd_fast_fused`): the sort already yields the output sizes,
+so the symbolic table is pure overhead.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.blocks import (
+    BlockScratch,
     assemble_from_block_outputs,
     choose_block_cols,
     composite_keys,
@@ -33,7 +40,6 @@ from repro.core.blocks import (
     iter_col_blocks,
     split_keys,
 )
-from repro.core.hashtable import hash_accumulate
 from repro.core.pairwise import ENTRY_BYTES
 from repro.core.stats import KernelStats
 from repro.formats.csc import CSCMatrix
@@ -49,12 +55,19 @@ ADD_ENTRY_BYTES = 8
 TraceItem = Tuple[int, int, np.ndarray]
 
 
+def _resolve(backend, need_trace):
+    from repro.kernels import resolve_backend
+
+    return resolve_backend(backend, need_trace=need_trace)
+
+
 def hash_symbolic(
     mats: Sequence[CSCMatrix],
     *,
     block_cols: Optional[int] = None,
     stats: Optional[KernelStats] = None,
     trace_sink: Optional[List[TraceItem]] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Algorithm 6: per-column output nnz via an index-only hash table.
 
@@ -64,41 +77,109 @@ def hash_symbolic(
     """
     check_nonempty(mats)
     m, n = check_same_shape(mats)
+    eng = _resolve(backend, trace_sink is not None)
     st = stats if stats is not None else KernelStats()
     st.algorithm = st.algorithm or "hash_symbolic"
     st.k = len(mats)
     st.n_cols = n
     bc = block_cols or choose_block_cols(mats)
+    scratch = BlockScratch()
     out = np.zeros(n, dtype=np.int64)
     col_in = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1)
+        cols, rows, vals, in_nnz = gather_block(mats, j0, j1, scratch)
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
         keys = composite_keys(cols, rows, m)
         tsize = table_size_for(rows.size)
-        res = hash_accumulate(
-            keys,
-            np.zeros(rows.size, dtype=np.float64),
-            tsize,
-            capture_trace=trace_sink is not None,
-        )
-        if trace_sink is not None:
-            trace_sink.append((tsize, SYMBOLIC_ENTRY_BYTES, res.trace))
-        ocols = res.keys // np.int64(m)
+        if eng.provides_stats or trace_sink is not None:
+            res = eng.accumulate(
+                keys,
+                np.zeros(rows.size, dtype=np.float64),
+                tsize,
+                capture_trace=trace_sink is not None,
+            )
+            if trace_sink is not None:
+                trace_sink.append((tsize, SYMBOLIC_ENTRY_BYTES, res.trace))
+            okeys = res.keys
+            st.ops += res.slot_ops
+            st.probes += res.probes
+            st.add_table_traffic(tsize * SYMBOLIC_ENTRY_BYTES, res.slot_ops)
+            st.ds_bytes_peak = max(
+                st.ds_bytes_peak, tsize * SYMBOLIC_ENTRY_BYTES
+            )
+        else:
+            # Stat-less backends need only the distinct keys; skip the
+            # zero-weight value accumulation.
+            okeys = np.unique(keys)
+        ocols = okeys // np.int64(m)
         out[j0:j1] = np.bincount(ocols, minlength=j1 - j0)
-        st.ops += res.slot_ops
-        st.probes += res.probes
         st.input_nnz += int(rows.size)
         st.bytes_read += rows.size * ENTRY_BYTES
-        st.add_table_traffic(tsize * SYMBOLIC_ENTRY_BYTES, res.slot_ops)
-        st.ds_bytes_peak = max(st.ds_bytes_peak, tsize * SYMBOLIC_ENTRY_BYTES)
     st.col_in_nnz = col_in
     st.col_out_nnz = out.copy()
     st.output_nnz = int(out.sum())
     st.col_ops = col_in.astype(np.float64)
     return out
+
+
+def _spkadd_fast_fused(
+    mats: Sequence[CSCMatrix],
+    *,
+    block_cols: Optional[int],
+    st: KernelStats,
+    stats_symbolic: Optional[KernelStats],
+) -> CSCMatrix:
+    """Single-pass sort/reduce SpKAdd (fast backend, no symbolic phase).
+
+    The sorted reduction produces each block's output directly in
+    (column, row) order, so the symbolic sizing pass the hash table
+    needs is unnecessary — its statistics (per-column output counts) are
+    byproducts of the reduction and still land in ``stats_symbolic`` so
+    facade callers see a populated two-phase result.  Output columns are
+    sorted even under ``sorted_output=False`` (sortedness is free here).
+    """
+    from repro.kernels import sort_reduce
+
+    shape = check_same_shape(mats)
+    m, n = shape
+    bc = block_cols or choose_block_cols(mats)
+    scratch = BlockScratch()
+    blocks = []
+    col_in = np.zeros(n, dtype=np.int64)
+    col_out = np.zeros(n, dtype=np.int64)
+    for j0, j1 in iter_col_blocks(n, bc):
+        cols, rows, vals, in_nnz = gather_block(mats, j0, j1, scratch)
+        col_in[j0:j1] = in_nnz
+        if rows.size == 0:
+            continue
+        keys = composite_keys(cols, rows, m)
+        okeys, ovals = sort_reduce(keys, vals)
+        ocols, orows = split_keys(okeys, m)
+        col_out[j0:j1] = np.bincount(ocols, minlength=j1 - j0)
+        blocks.append((j0, ocols, orows, ovals))
+        st.input_nnz += int(rows.size)
+        st.output_nnz += int(okeys.size)
+        st.bytes_read += rows.size * ENTRY_BYTES
+        st.bytes_written += okeys.size * ENTRY_BYTES
+    st.col_in_nnz = col_in
+    st.col_out_nnz = col_out.copy()
+    st.col_ops = col_in.astype(np.float64)
+    if stats_symbolic is not None:
+        st_sym = stats_symbolic
+        st_sym.algorithm = st_sym.algorithm or "hash_symbolic"
+        st_sym.k = st.k
+        st_sym.n_cols = n
+        st_sym.input_nnz = st.input_nnz
+        st_sym.bytes_read = st.bytes_read
+        st_sym.col_in_nnz = col_in.copy()
+        st_sym.col_out_nnz = col_out.copy()
+        st_sym.output_nnz = int(col_out.sum())
+        st_sym.col_ops = col_in.astype(np.float64)
+    # sort_reduce emits key-sorted (column-major, row-ascending) output,
+    # so the matrix is sorted whether or not the caller asked for it.
+    return assemble_from_block_outputs(shape, blocks, sorted=True)
 
 
 def spkadd_hash(
@@ -110,6 +191,7 @@ def spkadd_hash(
     stats: Optional[KernelStats] = None,
     stats_symbolic: Optional[KernelStats] = None,
     trace_sink: Optional[List[TraceItem]] = None,
+    backend: Optional[str] = None,
 ) -> CSCMatrix:
     """Algorithm 5: add k sparse matrices with a (row, value) hash table.
 
@@ -123,41 +205,59 @@ def spkadd_hash(
         Pre-computed symbolic counts; when omitted the symbolic phase
         (Algorithm 6) runs first and its stats land in
         ``stats_symbolic``.
+    backend:
+        Accumulation engine name (see :mod:`repro.kernels`); ``None``
+        consults ``REPRO_BACKEND`` and defaults to ``"instrumented"``.
+        The ``"fast"`` backend additionally fuses away the symbolic
+        phase when neither ``col_out_nnz`` nor ``trace_sink`` is given.
     """
     check_nonempty(mats)
     shape = check_same_shape(mats)
     m, n = shape
-    if col_out_nnz is None:
-        col_out_nnz = hash_symbolic(
-            mats, block_cols=block_cols, stats=stats_symbolic,
-            trace_sink=trace_sink,
-        )
+    eng = _resolve(backend, trace_sink is not None)
     st = stats if stats is not None else KernelStats()
     st.algorithm = st.algorithm or ("hash" if sorted_output else "hash_unsorted")
     st.k = len(mats)
     st.n_cols = n
+    if not eng.provides_stats and trace_sink is None and col_out_nnz is None:
+        return _spkadd_fast_fused(
+            mats,
+            block_cols=block_cols,
+            st=st,
+            stats_symbolic=stats_symbolic,
+        )
+    if col_out_nnz is None:
+        col_out_nnz = hash_symbolic(
+            mats, block_cols=block_cols, stats=stats_symbolic,
+            trace_sink=trace_sink, backend=eng.name,
+        )
     bc = block_cols or choose_block_cols(mats)
+    scratch = BlockScratch()
     blocks = []
     col_in = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1)
+        cols, rows, vals, in_nnz = gather_block(mats, j0, j1, scratch)
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
         keys = composite_keys(cols, rows, m)
         onz_block = int(col_out_nnz[j0:j1].sum())
         tsize = table_size_for(onz_block)
-        res = hash_accumulate(
+        res = eng.accumulate(
             keys, vals, tsize, capture_trace=trace_sink is not None
         )
         if trace_sink is not None:
             trace_sink.append((tsize, ADD_ENTRY_BYTES, res.trace))
-        if sorted_output:
+        if not eng.provides_stats:
+            # Fast-backend output is already fully key-sorted.
+            okeys, ovals = res.keys, res.vals
+        elif sorted_output:
             order = np.argsort(res.keys)
+            okeys, ovals = res.keys[order], res.vals[order]
         else:
             # Group by column only; keep table order inside each column.
             order = np.argsort(res.keys // np.int64(m), kind="stable")
-        okeys, ovals = res.keys[order], res.vals[order]
+            okeys, ovals = res.keys[order], res.vals[order]
         ocols, orows = split_keys(okeys, m)
         blocks.append((j0, ocols, orows, ovals))
         st.ops += res.slot_ops
@@ -166,9 +266,14 @@ def spkadd_hash(
         st.output_nnz += int(okeys.size)
         st.bytes_read += rows.size * ENTRY_BYTES
         st.bytes_written += okeys.size * ENTRY_BYTES
-        st.add_table_traffic(tsize * ADD_ENTRY_BYTES, res.slot_ops)
-        st.ds_bytes_peak = max(st.ds_bytes_peak, tsize * ADD_ENTRY_BYTES)
+        if eng.provides_stats:
+            st.add_table_traffic(tsize * ADD_ENTRY_BYTES, res.slot_ops)
+            st.ds_bytes_peak = max(st.ds_bytes_peak, tsize * ADD_ENTRY_BYTES)
     st.col_in_nnz = col_in
     st.col_out_nnz = np.asarray(col_out_nnz, dtype=np.int64).copy()
     st.col_ops = col_in.astype(np.float64)
-    return assemble_from_block_outputs(shape, blocks, sorted=sorted_output)
+    # A stat-less backend emits sorted columns whether or not they were
+    # asked for (sortedness is free in sort/reduce).
+    return assemble_from_block_outputs(
+        shape, blocks, sorted=sorted_output or not eng.provides_stats
+    )

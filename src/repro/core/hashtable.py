@@ -31,6 +31,25 @@ from repro.util.hashing import HASH_PRIME, hash_indices, table_size_for
 EMPTY = np.int64(-1)
 
 
+def accum_dtype(vals_dtype: np.dtype) -> np.dtype:
+    """Accumulator dtype for values of ``vals_dtype``.
+
+    Float and complex inputs accumulate at their own precision.  Integer
+    (and boolean) inputs accumulate in a wide integer of matching
+    signedness — they are **not** promoted to float64, so integer sums
+    stay exact and integer-typed.  Anything else (object, datetime, ...)
+    is rejected.
+    """
+    vals_dtype = np.dtype(vals_dtype)
+    if vals_dtype.kind in "fc":
+        return vals_dtype
+    if vals_dtype.kind in "ib":
+        return np.dtype(np.int64)
+    if vals_dtype.kind == "u":
+        return np.dtype(np.uint64)
+    raise TypeError(f"cannot accumulate values of dtype {vals_dtype}")
+
+
 @dataclass
 class HashAccumResult:
     """Output of one vectorized hash accumulation.
@@ -91,7 +110,7 @@ def hash_accumulate(
         raise ValueError("table_size must be a power of two")
 
     tkeys = np.full(table_size, EMPTY, dtype=np.int64)
-    tvals = np.zeros(table_size, dtype=vals.dtype if vals.dtype.kind == "f" else np.float64)
+    tvals = np.zeros(table_size, dtype=accum_dtype(vals.dtype))
 
     n = keys.shape[0]
     slot_ops = 0
@@ -204,43 +223,54 @@ def segmented_hash_accumulate(
     *,
     prime: int = HASH_PRIME,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Run :func:`hash_accumulate` independently on consecutive segments.
+    """Accumulate consecutive key segments independently, in one batch.
 
-    Used by the per-column reference path (``block_cols=1`` semantics)
-    when a caller wants exact per-column tables without a Python-level
-    loop in its own code.  Segments are ``keys[seg_starts[i]:seg_starts
-    [i+1]]`` with table size ``table_sizes[i]``.
+    Segment ``i`` is ``keys[seg_starts[i]:seg_starts[i+1]]``; duplicate
+    keys are summed *within* a segment only (the per-column semantics of
+    ``block_cols=1``).  All segments run in **one** batched
+    :func:`hash_accumulate` call: each segment's keys are offset-shifted
+    into a disjoint key range (``seg_id * stride + key``), inserted into
+    a single table sized for the whole batch, and the outputs are
+    regrouped by segment afterwards.
 
-    Returns ``(out_keys, out_vals, out_seg_lengths, slot_ops, probes)``
-    with each segment's output in table order.
+    Consequences of batching (vs. the per-segment loop this replaced):
+    ``table_sizes`` only determines the segment count — the paper's
+    per-segment sizing rule is subsumed by the batch-level
+    ``table_size_for``; ``slot_ops``/``probes`` are aggregate counts for
+    the batched table, not a sum over per-segment tables; and each
+    segment's output comes back in the batched table's scan order.
+
+    Returns ``(out_keys, out_vals, out_seg_lengths, slot_ops, probes)``.
     """
-    out_k: List[np.ndarray] = []
-    out_v: List[np.ndarray] = []
-    lengths = np.zeros(len(table_sizes), dtype=np.int64)
-    ops = 0
-    probes = 0
-    for i in range(len(table_sizes)):
-        lo, hi = int(seg_starts[i]), int(seg_starts[i + 1])
-        if hi == lo:
-            continue
-        res = hash_accumulate(keys[lo:hi], vals[lo:hi], int(table_sizes[i]), prime=prime)
-        out_k.append(res.keys)
-        out_v.append(res.vals)
-        lengths[i] = len(res.keys)
-        ops += res.slot_ops
-        probes += res.probes
-    if out_k:
+    keys = np.asarray(keys, dtype=np.int64)
+    vals = np.asarray(vals)
+    n_seg = len(table_sizes)
+    seg_starts = np.asarray(seg_starts, dtype=np.int64)
+    lengths = np.zeros(n_seg, dtype=np.int64)
+    if n_seg:
+        keys = keys[seg_starts[0] : seg_starts[n_seg]]
+        vals = vals[seg_starts[0] : seg_starts[n_seg]]
+    if keys.size == 0 or n_seg == 0:
         return (
-            np.concatenate(out_k),
-            np.concatenate(out_v),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=accum_dtype(vals.dtype)),
             lengths,
-            ops,
-            probes,
+            0,
+            0,
         )
-    return (
-        np.empty(0, dtype=np.int64),
-        np.empty(0, dtype=np.float64),
-        lengths,
-        ops,
-        probes,
+    seg_len = np.diff(seg_starts[: n_seg + 1])
+    seg_id = np.repeat(np.arange(n_seg, dtype=np.int64), seg_len)
+    stride = int(keys.max()) + 1
+    if n_seg * stride >= np.iinfo(np.int64).max:
+        raise OverflowError("segment key space does not fit in int64")
+    shifted = seg_id * np.int64(stride) + keys
+    res = hash_accumulate(
+        shifted, vals, table_size_for(keys.size), prime=prime
     )
+    out_seg = res.keys // np.int64(stride)
+    # Group outputs by segment, preserving table order within a segment.
+    order = np.argsort(out_seg, kind="stable")
+    out_seg = out_seg[order]
+    out_keys = res.keys[order] - out_seg * np.int64(stride)
+    lengths += np.bincount(out_seg, minlength=n_seg)
+    return out_keys, res.vals[order], lengths, res.slot_ops, res.probes

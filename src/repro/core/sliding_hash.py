@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.blocks import (
+    BlockScratch,
     assemble_from_block_outputs,
     choose_block_cols,
     composite_keys,
@@ -33,7 +34,6 @@ from repro.core.hash_add import (
     SYMBOLIC_ENTRY_BYTES,
     TraceItem,
 )
-from repro.core.hashtable import hash_accumulate
 from repro.core.pairwise import ENTRY_BYTES
 from repro.core.stats import KernelStats
 from repro.formats.csc import CSCMatrix
@@ -75,23 +75,30 @@ def _run_partitioned(
     col_out_nnz: Optional[np.ndarray],
     sorted_output: bool,
     trace_sink: Optional[List[TraceItem]],
+    backend: Optional[str] = None,
 ):
     """Shared engine for Algorithms 7 and 8.
 
     For each column block, decide the partition count from the phase's
     expected entry count (input nnz for symbolic, output nnz for add),
-    route entries to row ranges, and run the plain hash kernel per range
-    with an in-cache table.
+    route entries to row ranges, and run the accumulation backend per
+    range with an in-cache table.  The partitioning/routing structure is
+    backend-independent, so the ``fast`` backend still reports the
+    paper's ``parts`` count even though its reduction never spills.
     """
+    from repro.kernels import resolve_backend
+
+    eng = resolve_backend(backend, need_trace=trace_sink is not None)
     m, n = check_same_shape(mats)
     entry_bytes = SYMBOLIC_ENTRY_BYTES if phase == "symbolic" else ADD_ENTRY_BYTES
     bc = block_cols or choose_block_cols(mats)
+    scratch = BlockScratch()
     counts = np.zeros(n, dtype=np.int64)
     col_in = np.zeros(n, dtype=np.int64)
     blocks = []
     max_parts = 1
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1)
+        cols, rows, vals, in_nnz = gather_block(mats, j0, j1, scratch)
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
@@ -107,7 +114,8 @@ def _run_partitioned(
             table_entries=table_entries,
         )
         max_parts = max(max_parts, parts)
-        st.ops += 0 if parts == 1 else rows.size  # routing pass (Alg 7/8 line 9)
+        if eng.provides_stats:
+            st.ops += 0 if parts == 1 else rows.size  # routing pass (Alg 7/8 line 9)
         bounds = row_partition_bounds(m, parts)
         part_id = (
             np.zeros(rows.size, dtype=np.int64)
@@ -135,7 +143,11 @@ def _run_partitioned(
                     tsize = table_size_for(n_keys)
             else:
                 tsize = table_size_for(n_keys)
-            res = hash_accumulate(
+            if not eng.provides_stats and phase == "symbolic":
+                # Stat-less symbolic pass only needs the distinct keys.
+                out_k.append(np.unique(keys_all[lo:hi]))
+                continue
+            res = eng.accumulate(
                 keys_all[lo:hi],
                 vals_all[lo:hi],
                 tsize,
@@ -147,8 +159,9 @@ def _run_partitioned(
             out_v.append(res.vals)
             st.ops += res.slot_ops
             st.probes += res.probes
-            st.add_table_traffic(tsize * entry_bytes, res.slot_ops)
-            st.ds_bytes_peak = max(st.ds_bytes_peak, tsize * entry_bytes)
+            if eng.provides_stats:
+                st.add_table_traffic(tsize * entry_bytes, res.slot_ops)
+                st.ds_bytes_peak = max(st.ds_bytes_peak, tsize * entry_bytes)
         okeys = np.concatenate(out_k) if out_k else np.empty(0, dtype=np.int64)
         ovals = np.concatenate(out_v) if out_v else np.empty(0, dtype=np.float64)
         ocols_all = okeys // np.int64(m)
@@ -185,6 +198,7 @@ def sliding_hash_symbolic(
     block_cols: Optional[int] = None,
     stats: Optional[KernelStats] = None,
     trace_sink: Optional[List[TraceItem]] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Algorithm 7: symbolic phase with cache-bounded sliding tables.
 
@@ -207,6 +221,7 @@ def sliding_hash_symbolic(
         col_out_nnz=None,
         sorted_output=True,
         trace_sink=trace_sink,
+        backend=backend,
     )
 
 
@@ -222,6 +237,7 @@ def spkadd_sliding_hash(
     stats: Optional[KernelStats] = None,
     stats_symbolic: Optional[KernelStats] = None,
     trace_sink: Optional[List[TraceItem]] = None,
+    backend: Optional[str] = None,
 ) -> CSCMatrix:
     """Algorithm 8: SpKAdd with cache-bounded sliding hash tables.
 
@@ -229,6 +245,9 @@ def spkadd_sliding_hash(
     is supplied.  Note the paper's observation that the symbolic phase
     benefits *more* from sliding than the addition phase when the
     compression factor is large (its tables are cf x bigger).
+
+    ``backend`` selects the accumulation engine (:mod:`repro.kernels`);
+    both phases run on the same backend.
     """
     check_nonempty(mats)
     if col_out_nnz is None:
@@ -240,6 +259,7 @@ def spkadd_sliding_hash(
             block_cols=block_cols,
             stats=stats_symbolic,
             trace_sink=trace_sink,
+            backend=backend,
         )
     st = stats if stats is not None else KernelStats()
     st.algorithm = st.algorithm or "sliding_hash"
@@ -256,4 +276,5 @@ def spkadd_sliding_hash(
         col_out_nnz=np.asarray(col_out_nnz, dtype=np.int64),
         sorted_output=sorted_output,
         trace_sink=trace_sink,
+        backend=backend,
     )

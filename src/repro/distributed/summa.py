@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.api import spkadd
+from repro.core.api import BACKEND_AWARE_METHODS, spkadd
 from repro.core.stats import KernelStats
 from repro.distributed.comm import CommLog
 from repro.distributed.grid import BlockDistribution, ProcessGrid
@@ -164,8 +164,14 @@ def summa_spgemm(
     for rec in ranks:
         i, j = rec.coords
         pieces = intermediates[rec.rank]
-        # Run the chosen SpKAdd over this rank's intermediates.
-        result = spkadd(pieces, method=spkadd_method, **(spkadd_kwargs or {}))
+        # Run the chosen SpKAdd over this rank's intermediates.  The
+        # simulation reports per-phase op totals, so hash-family methods
+        # default to the instrumented engine here (overridable through
+        # spkadd_kwargs).
+        kw = dict(spkadd_kwargs or {})
+        if spkadd_method in BACKEND_AWARE_METHODS:
+            kw.setdefault("backend", "instrumented")
+        result = spkadd(pieces, method=spkadd_method, **kw)
         rec.spkadd_stats = result.stats
         rec.spkadd_symbolic = result.stats_symbolic
         rec.result_nnz = result.matrix.nnz

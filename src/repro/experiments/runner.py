@@ -190,7 +190,8 @@ def run_method(
     elif method == "hash":
         stats_sym = KernelStats()
         out = spkadd_hash(
-            mats, stats=stats, stats_symbolic=stats_sym, block_cols=1
+            mats, stats=stats, stats_symbolic=stats_sym, block_cols=1,
+            backend="instrumented",
         )
         out_nnz = out.nnz
     elif method == "sliding_hash":
@@ -199,7 +200,8 @@ def run_method(
         kw.setdefault("cache_bytes", cost_model.machine.llc_bytes)
         kw.setdefault("threads", cost_model.threads)
         out = spkadd_sliding_hash(
-            mats, stats=stats, stats_symbolic=stats_sym, block_cols=1, **kw
+            mats, stats=stats, stats_symbolic=stats_sym, block_cols=1,
+            backend="instrumented", **kw
         )
         out_nnz = out.nnz
     else:

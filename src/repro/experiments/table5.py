@@ -66,7 +66,7 @@ def run_table5(
         traces_h: list = []
         spkadd_hash(
             mats, stats=KernelStats(), stats_symbolic=KernelStats(),
-            block_cols=1, trace_sink=traces_h,
+            block_cols=1, trace_sink=traces_h, backend="instrumented",
         )
         rep_h = replay_table_traces(
             traces_h, machine, threads=threads, max_accesses=max_accesses
@@ -75,7 +75,7 @@ def run_table5(
         spkadd_sliding_hash(
             mats, stats=KernelStats(), stats_symbolic=KernelStats(),
             block_cols=1, threads=threads, cache_bytes=machine.llc_bytes,
-            trace_sink=traces_s,
+            trace_sink=traces_s, backend="instrumented",
         )
         rep_s = replay_table_traces(
             traces_s, machine, threads=threads, max_accesses=max_accesses

@@ -1,0 +1,37 @@
+"""Accumulation backends for the hash-family SpKAdd kernels.
+
+========================  ====================================================
+backend                   engine
+========================  ====================================================
+``instrumented``          paper-faithful linear-probing hash table; source of
+                          truth for slot-op/probe/cache-trace statistics
+``fast``                  sort + segmented reduce; bit-identical matrices, no
+                          stats, order-of-magnitude faster
+========================  ====================================================
+
+See :mod:`repro.kernels.registry` for the resolution rules (explicit
+argument > ``REPRO_BACKEND`` env var > caller default).
+"""
+
+from repro.kernels.base import Backend
+from repro.kernels.fast import FastBackend, sort_reduce
+from repro.kernels.instrumented import InstrumentedBackend
+from repro.kernels.registry import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "Backend",
+    "FastBackend",
+    "InstrumentedBackend",
+    "BACKEND_ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "sort_reduce",
+]

@@ -1,0 +1,66 @@
+"""Backend interface for the hash-family accumulation engines.
+
+A *backend* is the engine that turns parallel ``(key, value)`` arrays
+into deduplicated ``(key, sum)`` pairs — the inner operation of
+Algorithms 5–8.  Two implementations ship with the repo:
+
+``instrumented``
+    The paper-faithful vectorized linear-probing hash table
+    (:mod:`repro.core.hashtable`).  It is the source of truth for the
+    paper's work/probe/cache-trace statistics and every figure/table
+    reproduction runs on it.
+
+``fast``
+    A sort/segmented-reduce accumulator with no hash table at all.
+    It produces numerically identical sums (duplicates are reduced in
+    the same left-to-right order the hash table accumulates them) an
+    order of magnitude faster, but reports no slot-level statistics.
+
+Backends are looked up through :func:`repro.kernels.get_backend`; the
+kernels in :mod:`repro.core.hash_add` and :mod:`repro.core.sliding_hash`
+accept a ``backend=`` keyword and the :func:`repro.spkadd` facade adds a
+``REPRO_BACKEND`` environment override.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.hashtable import HashAccumResult
+
+
+class Backend:
+    """Accumulation engine behind the hash-family SpKAdd kernels.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"instrumented"``, ``"fast"``).
+    provides_stats:
+        Whether :attr:`HashAccumResult.slot_ops`/``probes`` are real
+        measurements.  When ``False`` they are reported as zero and the
+        cost model cannot consume the run.
+    supports_trace:
+        Whether ``capture_trace=True`` yields a slot-index trace for the
+        cache simulator.
+    """
+
+    name: str = ""
+    provides_stats: bool = False
+    supports_trace: bool = False
+
+    def accumulate(
+        self,
+        keys: np.ndarray,
+        vals: np.ndarray,
+        table_size: Optional[int] = None,
+        *,
+        capture_trace: bool = False,
+    ) -> HashAccumResult:
+        """Sum ``vals`` by ``keys``; see :func:`~repro.core.hashtable.hash_accumulate`."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

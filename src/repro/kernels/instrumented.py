@@ -1,0 +1,35 @@
+"""The paper-faithful backend: vectorized linear-probing hash table.
+
+A thin adapter over :mod:`repro.core.hashtable` — all probing semantics,
+op accounting, and trace capture live there unchanged.  This backend is
+what every paper figure/table reproduction runs on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.hashtable import HashAccumResult, hash_accumulate
+from repro.kernels.base import Backend
+
+
+class InstrumentedBackend(Backend):
+    """Linear-probing hash engine with full slot-op/probe/trace stats."""
+
+    name = "instrumented"
+    provides_stats = True
+    supports_trace = True
+
+    def accumulate(
+        self,
+        keys: np.ndarray,
+        vals: np.ndarray,
+        table_size: Optional[int] = None,
+        *,
+        capture_trace: bool = False,
+    ) -> HashAccumResult:
+        return hash_accumulate(
+            keys, vals, table_size, capture_trace=capture_trace
+        )

@@ -1,19 +1,31 @@
-"""Executors: real thread-pool column parallelism + simulated scaling.
+"""Executors: thread/process column parallelism + simulated scaling.
 
 ``parallel_spkadd`` runs any SpKAdd method over column chunks on a
-``ThreadPoolExecutor``.  Each worker receives zero-copy column views of
-every addend (CSC keeps columns contiguous) and a private accumulator —
-the paper's synchronization-free scheme.  NumPy kernels release the GIL
-for large array operations, so real (if modest, in Python) speedups are
-observed; the *shape* of scaling behaviour at paper fidelity comes from
-``simulate_parallel_time``, which the machine cost model uses for
-Fig 3.
+worker pool — the paper's synchronization-free scheme (each worker gets
+column views of every addend and a private accumulator).  Two pool
+flavours:
+
+``executor="thread"``
+    ``ThreadPoolExecutor`` over zero-copy column views (CSC keeps
+    columns contiguous).  NumPy kernels release the GIL for large array
+    operations, so real (if modest, in Python) speedups are observed.
+
+``executor="process"``
+    ``ProcessPoolExecutor``; column chunks are shipped to workers as
+    pickled views (the pickle materializes each chunk's slice — no
+    shared memory yet, see ROADMAP) and results are stitched back with
+    the same ``_concat_results``.  This sidesteps the GIL entirely,
+    which matters for the instrumented backend whose probing rounds are
+    Python-bound.
+
+The *shape* of scaling behaviour at paper fidelity comes from
+``simulate_parallel_time``, which the machine cost model uses for Fig 3.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +72,28 @@ def _concat_results(mats, parts):
     )
 
 
+def _run_chunk(
+    method: str,
+    j0: int,
+    views: Sequence[CSCMatrix],
+    sorted_output: bool,
+    kwargs: dict,
+) -> Tuple[int, CSCMatrix, KernelStats, Optional[KernelStats]]:
+    """Execute one column chunk.  Module-level so it pickles for the
+    process pool; the thread pool calls it directly."""
+    from repro.core.api import _REGISTRY
+
+    runner = _REGISTRY[method]
+    st = KernelStats()
+    if method in _TWO_PHASE:
+        out, st, st_sym = runner(
+            views, sorted_output=sorted_output, stats=st, **kwargs
+        )
+        return j0, out, st, st_sym
+    out = runner(views, stats=st, **kwargs)
+    return j0, out, st, None
+
+
 def parallel_spkadd(
     mats: Sequence[CSCMatrix],
     method: str = "hash",
@@ -67,23 +101,34 @@ def parallel_spkadd(
     threads: int = 2,
     sorted_output: bool = True,
     chunks_per_thread: int = 4,
+    executor: str = "thread",
     **kwargs,
 ):
     """Column-parallel SpKAdd (paper Section III-A).
 
     Columns are divided into ``threads * chunks_per_thread`` contiguous
     chunks of near-equal *input nnz* (the dynamic-balancing weight) and
-    executed on a thread pool.  Per-chunk stats are merged; the result
-    is bit-identical to the sequential method.
+    executed on a thread or process pool (``executor=``).  Per-chunk
+    stats are merged; the result is bit-identical to the sequential
+    method.
     """
-    from repro.core.api import SpKAddResult, _REGISTRY
+    # Deferred: repro.core.api imports this module's caller chain.
+    from repro.core.api import BACKEND_AWARE_METHODS, SpKAddResult, _REGISTRY
 
     if method not in _REGISTRY:
         raise ValueError(f"unknown method {method!r}")
-    if method.startswith("scipy") or method.startswith("2way"):
-        # Pairwise algorithms parallelize inside each 2-way add the same
-        # way; we run their chunked form identically.
-        pass
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r}; choose 'thread' or 'process'"
+        )
+    if executor == "process" and kwargs.get("trace_sink") is not None:
+        raise ValueError(
+            "trace_sink is not supported with executor='process': traces "
+            "appended in worker processes never reach the caller's list; "
+            "use executor='thread'"
+        )
+    if method not in BACKEND_AWARE_METHODS:
+        kwargs.pop("backend", None)
     if method == "sliding_hash" and "cache_bytes" in kwargs:
         # The sliding cache-budget rule needs the worker count.
         kwargs.setdefault("threads", threads)
@@ -93,24 +138,32 @@ def parallel_spkadd(
     ranges = [
         (j0, j1) for j0, j1 in split_weighted(weights, n_chunks) if j1 > j0
     ]
-    runner = _REGISTRY[method]
-
-    def work(rng):
-        j0, j1 = rng
-        views = [A.col_view(j0, j1) for A in mats]
-        st = KernelStats()
-        if method in _TWO_PHASE:
-            out, st, st_sym = runner(
-                views, sorted_output=sorted_output, stats=st, **kwargs
-            )
-            return j0, out, st, st_sym
-        out = runner(views, stats=st, **kwargs)
-        return j0, out, st, None
 
     results = []
-    with ThreadPoolExecutor(max_workers=threads) as pool:
-        for item in pool.map(work, ranges):
-            results.append(item)
+    if executor == "process":
+        with ProcessPoolExecutor(max_workers=threads) as pool:
+            futures = [
+                pool.submit(
+                    _run_chunk,
+                    method,
+                    j0,
+                    [A.col_view(j0, j1) for A in mats],
+                    sorted_output,
+                    kwargs,
+                )
+                for j0, j1 in ranges
+            ]
+            for fut in futures:
+                results.append(fut.result())
+    else:
+        def work(rng):
+            j0, j1 = rng
+            views = [A.col_view(j0, j1) for A in mats]
+            return _run_chunk(method, j0, views, sorted_output, kwargs)
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            for item in pool.map(work, ranges):
+                results.append(item)
 
     merged = KernelStats(algorithm=f"{method}[T={threads}]")
     merged_sym: Optional[KernelStats] = (

@@ -95,7 +95,44 @@ class TestHashAccumulate:
         keys = np.array([1, 1], dtype=np.int64)
         vals = np.array([1.5, 2.5], dtype=np.float32)
         res = hash_accumulate(keys, vals, 16)
+        assert res.vals.dtype == np.float32
         assert res.vals[0] == 4.0
+
+    def test_integer_values_stay_integer(self):
+        """ISSUE satellite: int vals must not silently become float64."""
+        keys = np.array([9, 9, 4], dtype=np.int64)
+        vals = np.array([2, 3, 7], dtype=np.int32)
+        res = hash_accumulate(keys, vals, 16)
+        assert res.vals.dtype == np.int64
+        d = dict(zip(res.keys.tolist(), res.vals.tolist()))
+        assert d == {9: 5, 4: 7}
+
+    def test_integer_sums_exact_beyond_float_precision(self):
+        # 2**53 + 1 is not representable in float64; int64 keeps it.
+        keys = np.array([1, 1], dtype=np.int64)
+        vals = np.array([2**53, 1], dtype=np.int64)
+        res = hash_accumulate(keys, vals, 16)
+        assert int(res.vals[0]) == 2**53 + 1
+
+    def test_unsigned_values_accumulate_unsigned(self):
+        keys = np.array([3, 3], dtype=np.int64)
+        vals = np.array([1, 2], dtype=np.uint32)
+        res = hash_accumulate(keys, vals, 16)
+        assert res.vals.dtype == np.uint64
+        assert int(res.vals[0]) == 3
+
+    def test_bool_values_count(self):
+        keys = np.array([5, 5, 5], dtype=np.int64)
+        vals = np.array([True, True, False])
+        res = hash_accumulate(keys, vals, 16)
+        assert res.vals.dtype == np.int64
+        assert int(res.vals[0]) == 2
+
+    def test_rejects_object_values(self):
+        from repro.core.hashtable import accum_dtype
+
+        with pytest.raises(TypeError):
+            accum_dtype(np.dtype(object))
 
 
 class TestHashCountDistinct:
@@ -130,3 +167,43 @@ class TestSegmented:
             keys, np.ones(1), starts, np.array([8, 8])
         )
         assert list(lengths) == [0, 1]
+
+    def test_all_empty(self):
+        k, v, lengths, ops, probes = segmented_hash_accumulate(
+            np.empty(0, dtype=np.int64), np.empty(0),
+            np.array([0, 0, 0]), np.array([8, 8]),
+        )
+        assert list(lengths) == [0, 0]
+        assert k.size == 0 and ops == 0
+
+    def test_batched_matches_per_segment_reference(self):
+        """One batched call must reproduce segment-local sums exactly."""
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 50, 200).astype(np.int64)
+        vals = rng.normal(size=200)
+        starts = np.array([0, 30, 30, 120, 200])
+        sizes = np.array([64, 64, 256, 128])
+        k, v, lengths, ops, probes = segmented_hash_accumulate(
+            keys, vals, starts, sizes
+        )
+        assert int(lengths.sum()) == k.size
+        pos = 0
+        for i in range(4):
+            lo, hi = int(starts[i]), int(starts[i + 1])
+            seg_k = k[pos : pos + lengths[i]]
+            seg_v = v[pos : pos + lengths[i]]
+            pos += int(lengths[i])
+            expect = {}
+            for key, val in zip(keys[lo:hi], vals[lo:hi]):
+                expect[int(key)] = expect.get(int(key), 0.0) + val
+            got = dict(zip(seg_k.tolist(), seg_v.tolist()))
+            assert set(got) == set(expect)
+            for key in expect:
+                assert got[key] == pytest.approx(expect[key])
+
+    def test_ops_are_reported(self):
+        keys = np.array([1, 1, 2, 1, 1], dtype=np.int64)
+        _, _, _, ops, _ = segmented_hash_accumulate(
+            keys, np.ones(5), np.array([0, 3, 5]), np.array([8, 8])
+        )
+        assert ops >= len(keys)  # at least one slot visit per entry
