@@ -11,7 +11,8 @@ Modes
 -----
 ``--quick``
     One ER workload at the ISSUE-1 acceptance point (k=8 matrices,
-    m=2^16 rows): every method once per relevant backend, 3 repeats,
+    m=2^16 rows): every method once per relevant backend, plus the
+    thread/process/shm executor series on the hash kernel, 3 repeats,
     best-of.  Finishes in well under a minute — suitable for CI.
 default (no flag)
     Adds the RMAT pattern, a larger k, and thread sweeps.
@@ -59,14 +60,23 @@ def _time_call(fn, repeats: int):
     return best, result
 
 
-def bench_workload(name, mats, methods, *, threads, repeats, records):
+def bench_workload(name, mats, methods, *, threads, repeats, records,
+                   executor=None, backends=None):
+    from repro.parallel.executor import resolve_executor
+
     total_in = sum(A.nnz for A in mats)
+    # Serial runs use no pool at all; parallel runs are labelled with the
+    # executor that actually serves them (REPRO_EXECUTOR reroutes calls
+    # that don't pass one explicitly).
+    exec_label = "-" if threads <= 1 else resolve_executor(executor)
     for method in methods:
-        backends = (
+        method_backends = backends or (
             ("fast", "instrumented") if method in BACKEND_AWARE_METHODS else (None,)
         )
-        for backend in backends:
+        for backend in method_backends:
             kwargs = {"backend": backend} if backend else {}
+            if executor is not None:
+                kwargs["executor"] = executor
             wall, res = _time_call(
                 lambda: repro.spkadd(
                     mats, method=method, threads=threads, **kwargs
@@ -77,6 +87,7 @@ def bench_workload(name, mats, methods, *, threads, repeats, records):
                 "workload": name,
                 "method": method,
                 "backend": backend or "-",
+                "executor": exec_label,
                 "threads": threads,
                 "wall_s": round(wall, 6),
                 "input_nnz": total_in,
@@ -87,6 +98,7 @@ def bench_workload(name, mats, methods, *, threads, repeats, records):
             records.append(rec)
             print(
                 f"  {name:14s} {method:18s} {rec['backend']:13s} "
+                f"{rec['executor']:8s} "
                 f"T={threads} {wall * 1e3:9.1f} ms  "
                 f"ops={rec['ops']:.3g}"
             )
@@ -114,6 +126,18 @@ def main(argv=None) -> int:
         threads=1, repeats=args.repeats, records=records,
     )
 
+    # Executor series: the same hash/fast workload on every worker-pool
+    # flavour — the shm engine's zero-copy transport vs the pickling
+    # process pool vs the GIL-sharing thread pool.
+    exec_threads = 4
+    print(f"executor series: hash/fast, T={exec_threads}")
+    for executor in ("thread", "process", "shm"):
+        bench_workload(
+            "er_k8_n65536", er, ["hash"],
+            threads=exec_threads, repeats=args.repeats, records=records,
+            executor=executor, backends=("fast",),
+        )
+
     if not args.quick:
         print("RMAT workload: k=16, m=2^15, n=64, d=16")
         rm = rmat_collection(1 << 15, 64, d=16.0, k=16, seed=12)
@@ -128,10 +152,12 @@ def main(argv=None) -> int:
                 threads=threads, repeats=args.repeats, records=records,
             )
 
-    def wall_of(method, backend):
+    def wall_of(method, backend, *, threads=1, executor=None):
         for r in records:
             if (r["workload"] == "er_k8_n65536" and r["method"] == method
-                    and r["backend"] == backend and r["threads"] == 1):
+                    and r["backend"] == backend
+                    and r["threads"] == threads
+                    and (executor is None or r.get("executor") == executor)):
                 return r["wall_s"]
         return None
 
@@ -140,14 +166,23 @@ def main(argv=None) -> int:
     speedup = round(inst / fast, 2) if fast and inst else None
     print(f"\nhash fast-vs-instrumented speedup (k=8, m=2^16): {speedup}x")
 
+    shm = wall_of("hash", "fast", threads=4, executor="shm")
+    proc = wall_of("hash", "fast", threads=4, executor="process")
+    shm_speedup = round(proc / shm, 2) if shm and proc else None
+    print(f"hash shm-vs-process executor speedup (k=8, m=2^16, T=4): "
+          f"{shm_speedup}x")
+
     payload = {
-        "schema": 1,
+        "schema": 2,
         "preset": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
         "elapsed_s": round(time.time() - t_start, 1),
-        "headline": {"hash_fast_vs_instrumented_speedup": speedup},
+        "headline": {
+            "hash_fast_vs_instrumented_speedup": speedup,
+            "hash_shm_vs_process_speedup": shm_speedup,
+        },
         "results": records,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

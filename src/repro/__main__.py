@@ -28,16 +28,19 @@ def _cmd_demo(args) -> int:
 
     gen = erdos_renyi_collection if args.pattern == "er" else rmat_collection
     mats = gen(args.m, args.n, d=args.d, k=args.k, seed=args.seed)
+    from repro.parallel.executor import resolve_executor
+
+    executor = resolve_executor(args.executor)
     print(f"{args.pattern.upper()} workload: k={args.k}, "
           f"{args.m}x{args.n}, d={args.d} "
-          f"[backend={args.backend}, executor={args.executor}, "
+          f"[backend={args.backend}, executor={executor}, "
           f"threads={args.threads}]")
     from repro.core.api import BACKEND_AWARE_METHODS
 
     for method in repro.available_methods():
         res = repro.spkadd(
             mats, method=method, threads=args.threads,
-            executor=args.executor,
+            executor=executor,
             backend=args.backend if method in BACKEND_AWARE_METHODS else None,
         )
         print(f"  {method:20s} nnz={res.matrix.nnz:<9d} "
@@ -125,9 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="accumulation engine for hash-family methods "
                         "(auto = REPRO_BACKEND env var, then 'fast')")
-    d.add_argument("--executor", choices=["thread", "process"],
-                   default="thread",
-                   help="worker pool flavour when --threads > 1")
+    d.add_argument("--executor", choices=["auto", "thread", "process", "shm"],
+                   default="auto",
+                   help="worker pool flavour when --threads > 1: thread, "
+                        "process (pickled chunks), or shm (zero-copy "
+                        "shared memory); auto = REPRO_EXECUTOR env var, "
+                        "then 'thread'")
     d.add_argument("--threads", type=int, default=1)
     d.set_defaults(func=_cmd_demo)
 

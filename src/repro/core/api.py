@@ -10,7 +10,9 @@ threads with the paper's load-balancing rule).  ``backend`` selects the
 accumulation engine for the hash-family methods — ``"fast"``
 (sort/reduce, the production default) or ``"instrumented"`` (the
 paper-faithful probing table that produces slot-op/probe/cache stats) —
-and ``executor="process"`` swaps the thread pool for a process pool.
+and ``executor="process"`` / ``executor="shm"`` swaps the thread pool
+for a process pool (pickled chunks) or the zero-copy shared-memory
+engine (``REPRO_EXECUTOR`` overrides the default).
 """
 
 from __future__ import annotations
@@ -107,7 +109,7 @@ def spkadd(
     machine=None,
     sorted_output: bool = True,
     backend: Optional[str] = None,
-    executor: str = "thread",
+    executor: Optional[str] = None,
     **kwargs,
 ) -> SpKAddResult:
     """Add a collection of sparse matrices: ``B = sum_i A_i``.
@@ -143,13 +145,19 @@ def spkadd(
         stats feed the cost model.  ``None`` consults the
         ``REPRO_BACKEND`` environment variable and then defaults to
         ``"fast"``: production callers who don't ask for paper
-        statistics get the fast engine automatically.  Ignored by
-        non-hash methods.
+        statistics get the fast engine automatically.  Non-hash methods
+        have no accumulation engine and reject an explicit ``backend``
+        with ``ValueError``.
     executor:
-        ``"thread"`` (shared-memory pool; NumPy kernels release the GIL)
-        or ``"process"`` (a ``ProcessPoolExecutor`` that sidesteps the
-        GIL entirely; column chunks are shipped as pickled views).  Only
-        consulted when ``threads > 1``.
+        ``"thread"`` (shared-memory pool; NumPy kernels release the GIL),
+        ``"process"`` (a ``ProcessPoolExecutor`` that sidesteps the
+        GIL entirely; column chunks are shipped as pickled views), or
+        ``"shm"`` (the zero-copy ``multiprocessing.shared_memory``
+        engine: inputs published once, output scattered into one
+        symbolically sized shared buffer — see
+        :mod:`repro.parallel.shm`).  ``None`` (or ``"auto"``) consults
+        the ``REPRO_EXECUTOR`` environment variable and then defaults to
+        ``"thread"``.  Only consulted when ``threads > 1``.
 
     Returns
     -------

@@ -10,6 +10,13 @@ with a k-way kernel, and fold batch results with a running 2-way add.
 :class:`StreamingAccumulator` is the stateful form for true streams
 (e.g. the graph-accumulation workload of the intro): feed matrices as
 they arrive, read the running sum at any time.
+
+Both entry points fold batches with the hash kernel routed through the
+kernel registry: ``backend=`` selects the accumulation engine and
+defaults (like the :func:`repro.spkadd` facade) to ``"fast"`` after the
+``REPRO_BACKEND`` environment override — streaming callers never read
+slot-level statistics, so they get the sort/reduce engine automatically.
+Pass ``kernel=`` to substitute a different folding kernel entirely.
 """
 
 from __future__ import annotations
@@ -20,6 +27,33 @@ from repro.core.hash_add import spkadd_hash
 from repro.core.pairwise import add_pair
 from repro.core.stats import KernelStats
 from repro.formats.csc import CSCMatrix
+
+
+def _registry_kernel(backend: Optional[str]) -> Callable[..., CSCMatrix]:
+    """Hash-kernel closure pinned to a registry-resolved backend."""
+    from repro.core.api import DEFAULT_FACADE_BACKEND
+    from repro.kernels import resolve_backend
+
+    name = resolve_backend(backend, default=DEFAULT_FACADE_BACKEND).name
+
+    def kern(ms, **kw):
+        kw.setdefault("backend", name)
+        return spkadd_hash(ms, **kw)
+
+    return kern
+
+
+def _resolve_kernel(
+    kernel: Optional[Callable[..., CSCMatrix]], backend: Optional[str]
+) -> Callable[..., CSCMatrix]:
+    if kernel is not None:
+        if backend is not None:
+            raise ValueError(
+                "pass either kernel= or backend=, not both: a custom "
+                "kernel owns its own accumulation engine"
+            )
+        return kernel
+    return _registry_kernel(backend)
 
 
 def _batches(it: Iterable[CSCMatrix], size: int) -> Iterator[List[CSCMatrix]]:
@@ -38,6 +72,7 @@ def spkadd_streaming(
     *,
     batch_size: int = 16,
     kernel: Optional[Callable[..., CSCMatrix]] = None,
+    backend: Optional[str] = None,
     stats: Optional[KernelStats] = None,
 ) -> CSCMatrix:
     """Sum a (possibly unbounded-length) stream of sparse matrices.
@@ -50,7 +85,7 @@ def spkadd_streaming(
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    kern = kernel or (lambda ms, **kw: spkadd_hash(ms, **kw))
+    kern = _resolve_kernel(kernel, backend)
     st = stats if stats is not None else KernelStats()
     st.algorithm = st.algorithm or f"streaming[b={batch_size}]"
     acc: Optional[CSCMatrix] = None
@@ -82,11 +117,13 @@ class StreamingAccumulator:
     sum without ending the stream.
     """
 
-    def __init__(self, *, batch_size: int = 16, kernel=None) -> None:
+    def __init__(
+        self, *, batch_size: int = 16, kernel=None, backend: Optional[str] = None
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
-        self._kernel = kernel or (lambda ms, **kw: spkadd_hash(ms, **kw))
+        self._kernel = _resolve_kernel(kernel, backend)
         self._buffer: List[CSCMatrix] = []
         self._acc: Optional[CSCMatrix] = None
         self.stats = KernelStats(algorithm=f"streaming_acc[b={batch_size}]")

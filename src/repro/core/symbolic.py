@@ -9,7 +9,7 @@ tests.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +43,33 @@ def exact_output_col_nnz(
         keys = np.unique(composite_keys(cols, rows, m))
         out[j0:j1] = np.bincount(keys // np.int64(m), minlength=j1 - j0)
     return out
+
+
+def chunk_output_layout(
+    col_nnz: np.ndarray,
+    ranges: Sequence[Tuple[int, int]],
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """Exact output CSC layout from per-column symbolic counts.
+
+    Given ``col_nnz`` (``nnz(B(:,j))`` for every column, e.g. from
+    :func:`exact_output_col_nnz` or a parallel symbolic pass) and the
+    column ``ranges`` assigned to each chunk, returns ``(indptr,
+    offsets)`` where ``indptr`` is the output pointer array of ``B`` and
+    ``offsets[i] = (lo, hi)`` is chunk ``i``'s slice of the output
+    ``indices``/``data`` arrays.  This is what lets the shared-memory
+    executor preallocate one output buffer and have every worker scatter
+    into a private, disjoint slice with no synchronization.
+    """
+    col_nnz = np.asarray(col_nnz, dtype=np.int64)
+    n = col_nnz.shape[0]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(col_nnz, out=indptr[1:])
+    offsets = []
+    for j0, j1 in ranges:
+        if not (0 <= j0 <= j1 <= n):
+            raise ValueError(f"chunk range ({j0}, {j1}) outside [0, {n}]")
+        offsets.append((int(indptr[j0]), int(indptr[j1])))
+    return indptr, offsets
 
 
 def symbolic_nnz(

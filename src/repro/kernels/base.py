@@ -62,5 +62,20 @@ class Backend:
         """Sum ``vals`` by ``keys``; see :func:`~repro.core.hashtable.hash_accumulate`."""
         raise NotImplementedError
 
+    def symbolic_col_nnz(self, mats) -> np.ndarray:
+        """Exact per-column output nnz of ``sum(mats)`` — the sizing
+        pre-pass of the shared-memory executor.
+
+        The output structure of SpKAdd is the structural union of the
+        inputs regardless of algorithm or engine, so both backends share
+        the sort/unique oracle; an engine may override this to meter the
+        pass (the instrumented probing table does so through
+        :func:`repro.core.hash_add.hash_symbolic` when stats are
+        requested by the caller).
+        """
+        from repro.core.symbolic import exact_output_col_nnz
+
+        return exact_output_col_nnz(mats)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -9,9 +9,13 @@ hash table) and a disjoint set of columns.  This subpackage provides
 * :mod:`~repro.parallel.scheduler` — static and dynamic (by-nnz)
   column schedules, the paper's load-balancing rule (Section III-A:
   input nnz weights the symbolic phase, output nnz the addition phase);
-* :mod:`~repro.parallel.executor` — a real thread-pool executor over
-  column blocks, and a *simulated* executor that turns per-column work
-  vectors into per-thread makespans for the scaling study (Fig 3).
+* :mod:`~repro.parallel.executor` — real thread/process/shared-memory
+  executors over column blocks, and a *simulated* executor that turns
+  per-column work vectors into per-thread makespans for the scaling
+  study (Fig 3);
+* :mod:`~repro.parallel.shm` — the ``multiprocessing.shared_memory``
+  plumbing behind ``executor="shm"``: segment registry, spawn-safe
+  attach handles, and the two-wave compute/scatter engine.
 """
 
 from repro.parallel.partition import (
@@ -25,9 +29,26 @@ from repro.parallel.scheduler import (
     schedule_makespan,
     static_schedule,
 )
-from repro.parallel.executor import parallel_spkadd, simulate_parallel_time
+from repro.parallel.executor import (
+    EXECUTOR_ENV_VAR,
+    EXECUTORS,
+    parallel_spkadd,
+    resolve_executor,
+    simulate_parallel_time,
+)
+from repro.parallel.shm import (
+    SegmentRegistry,
+    SharedArraySpec,
+    list_live_segments,
+)
 
 __all__ = [
+    "EXECUTOR_ENV_VAR",
+    "EXECUTORS",
+    "resolve_executor",
+    "SegmentRegistry",
+    "SharedArraySpec",
+    "list_live_segments",
     "row_partition_bounds",
     "split_even",
     "split_weighted",

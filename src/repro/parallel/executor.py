@@ -12,11 +12,20 @@ flavours:
 
 ``executor="process"``
     ``ProcessPoolExecutor``; column chunks are shipped to workers as
-    pickled views (the pickle materializes each chunk's slice — no
-    shared memory yet, see ROADMAP) and results are stitched back with
-    the same ``_concat_results``.  This sidesteps the GIL entirely,
-    which matters for the instrumented backend whose probing rounds are
-    Python-bound.
+    pickled views (the pickle materializes each chunk's slice) and
+    results are stitched back with the same ``_concat_results``.  This
+    sidesteps the GIL entirely, which matters for the instrumented
+    backend whose probing rounds are Python-bound.
+
+``executor="shm"``
+    The zero-copy shared-memory engine (:mod:`repro.parallel.shm`):
+    inputs are published to ``multiprocessing.shared_memory`` segments
+    once, a symbolic sizing pass determines the exact output layout, and
+    workers scatter their chunks straight into one preallocated shared
+    CSC buffer — no per-chunk pickling, no gather concatenate.
+
+``executor=None`` (or ``"auto"``) consults the ``REPRO_EXECUTOR``
+environment variable, then defaults to ``"thread"``.
 
 The *shape* of scaling behaviour at paper fidelity comes from
 ``simulate_parallel_time``, which the machine cost model uses for Fig 3.
@@ -24,6 +33,7 @@ The *shape* of scaling behaviour at paper fidelity comes from
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Optional, Sequence, Tuple
 
@@ -35,6 +45,32 @@ from repro.parallel.partition import split_weighted
 from repro.parallel.scheduler import dynamic_schedule, static_schedule
 
 _TWO_PHASE = {"hash", "sliding_hash"}
+
+#: environment variable overriding the default executor choice.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: names accepted by ``executor=``.
+EXECUTORS = ("thread", "process", "shm")
+
+#: executors whose workers run in separate processes; they all reject
+#: ``trace_sink`` (worker-side appends never reach the caller's list).
+MULTIPROCESS_EXECUTORS = frozenset({"process", "shm"})
+
+
+def resolve_executor(name: Optional[str] = None) -> str:
+    """Resolve an executor name: explicit argument > ``REPRO_EXECUTOR``
+    environment variable > ``"thread"``.
+
+    >>> resolve_executor("shm")
+    'shm'
+    """
+    if name is None or name == "auto":
+        name = os.environ.get(EXECUTOR_ENV_VAR) or "thread"
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; choose from {EXECUTORS}"
+        )
+    return name
 
 
 def _total_col_nnz(mats: Sequence[CSCMatrix]) -> np.ndarray:
@@ -101,29 +137,27 @@ def parallel_spkadd(
     threads: int = 2,
     sorted_output: bool = True,
     chunks_per_thread: int = 4,
-    executor: str = "thread",
+    executor: Optional[str] = None,
     **kwargs,
 ):
     """Column-parallel SpKAdd (paper Section III-A).
 
     Columns are divided into ``threads * chunks_per_thread`` contiguous
     chunks of near-equal *input nnz* (the dynamic-balancing weight) and
-    executed on a thread or process pool (``executor=``).  Per-chunk
-    stats are merged; the result is bit-identical to the sequential
-    method.
+    executed on a thread, process, or shared-memory pool (``executor=``;
+    ``None``/``"auto"`` consults ``REPRO_EXECUTOR`` then uses
+    ``"thread"``).  Per-chunk stats are merged; the result is
+    bit-identical to the sequential method.
     """
     # Deferred: repro.core.api imports this module's caller chain.
     from repro.core.api import BACKEND_AWARE_METHODS, SpKAddResult, _REGISTRY
 
     if method not in _REGISTRY:
         raise ValueError(f"unknown method {method!r}")
-    if executor not in ("thread", "process"):
+    executor = resolve_executor(executor)
+    if executor in MULTIPROCESS_EXECUTORS and kwargs.get("trace_sink") is not None:
         raise ValueError(
-            f"unknown executor {executor!r}; choose 'thread' or 'process'"
-        )
-    if executor == "process" and kwargs.get("trace_sink") is not None:
-        raise ValueError(
-            "trace_sink is not supported with executor='process': traces "
+            f"trace_sink is not supported with executor={executor!r}: traces "
             "appended in worker processes never reach the caller's list; "
             "use executor='thread'"
         )
@@ -139,31 +173,41 @@ def parallel_spkadd(
         (j0, j1) for j0, j1 in split_weighted(weights, n_chunks) if j1 > j0
     ]
 
-    results = []
-    if executor == "process":
-        with ProcessPoolExecutor(max_workers=threads) as pool:
-            futures = [
-                pool.submit(
-                    _run_chunk,
-                    method,
-                    j0,
-                    [A.col_view(j0, j1) for A in mats],
-                    sorted_output,
-                    kwargs,
-                )
-                for j0, j1 in ranges
-            ]
-            for fut in futures:
-                results.append(fut.result())
-    else:
-        def work(rng):
-            j0, j1 = rng
-            views = [A.col_view(j0, j1) for A in mats]
-            return _run_chunk(method, j0, views, sorted_output, kwargs)
+    out: Optional[CSCMatrix] = None
+    if executor == "shm":
+        from repro.parallel.shm import shm_parallel_run
 
-        with ThreadPoolExecutor(max_workers=threads) as pool:
-            for item in pool.map(work, ranges):
-                results.append(item)
+        out, stat_items = shm_parallel_run(
+            mats, method, ranges,
+            sorted_output=sorted_output, kwargs=kwargs, threads=threads,
+        )
+    else:
+        results = []
+        if executor == "process":
+            with ProcessPoolExecutor(max_workers=threads) as pool:
+                futures = [
+                    pool.submit(
+                        _run_chunk,
+                        method,
+                        j0,
+                        [A.col_view(j0, j1) for A in mats],
+                        sorted_output,
+                        kwargs,
+                    )
+                    for j0, j1 in ranges
+                ]
+                for fut in futures:
+                    results.append(fut.result())
+        else:
+            def work(rng):
+                j0, j1 = rng
+                views = [A.col_view(j0, j1) for A in mats]
+                return _run_chunk(method, j0, views, sorted_output, kwargs)
+
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                for item in pool.map(work, ranges):
+                    results.append(item)
+        stat_items = [(j0, st, st_sym) for j0, _, st, st_sym in results]
 
     merged = KernelStats(algorithm=f"{method}[T={threads}]")
     merged_sym: Optional[KernelStats] = (
@@ -186,7 +230,7 @@ def parallel_spkadd(
             full[j0 : j0 + len(part)] = part
             setattr(chunk, name, None)
 
-    for j0, _, st, st_sym in results:
+    for j0, st, st_sym in stat_items:
         splice(merged, j0, st)
         merged.merge(st)
         if merged_sym is not None and st_sym is not None:
@@ -194,7 +238,8 @@ def parallel_spkadd(
             merged_sym.merge(st_sym)
     merged.k = len(mats)
     merged.n_cols = n
-    out = _concat_results(mats, [(j0, sub) for j0, sub, _, _ in results])
+    if out is None:
+        out = _concat_results(mats, [(j0, sub) for j0, sub, _, _ in results])
     return SpKAddResult(out, merged, merged_sym, method=method)
 
 

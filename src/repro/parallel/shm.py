@@ -1,0 +1,523 @@
+"""Zero-copy shared-memory process engine for ``parallel_spkadd``.
+
+The plain process pool (``executor="process"``) pickles every
+column-chunk view into each worker and pickles every chunk result back —
+pure copy overhead for a bandwidth-bound kernel — and pays a full
+fork/teardown per call.  This module replaces that transport with
+``multiprocessing.shared_memory`` plus a persistent worker pool:
+
+1. the parent **publishes** the k input CSC arrays
+   (indptr/indices/values) into one named shared segment *once* per
+   call;
+2. workers **attach read-only** and compute their column chunks on
+   zero-copy views of the shared inputs, staging each chunk's output in
+   a parent-owned scratch slot sized by the chunk's input nnz (an exact
+   upper bound: SpKAdd output is the structural union of its inputs) and
+   returning only the per-column output counts — the **symbolic sizing**
+   of the result;
+3. the parent turns the symbolic counts into the exact output layout
+   (:func:`repro.core.symbolic.chunk_output_layout`), preallocates one
+   shared CSC buffer, and workers **scatter** their staged chunks into
+   their private output slice — no per-chunk pickling, no gather
+   concatenate.
+
+Chunk results are produced by the same ``_run_chunk`` the thread and
+process pools use, so the assembled matrix (and the merged stats) are
+bit-identical across all executors and both kernel backends.
+
+Engine lifecycle (:class:`SharedMemoryPool`): the worker pool is created
+on first use and **reused across calls** — repeated ``spkadd`` calls pay
+the fork cost once, which is where most of the process executor's
+latency goes.  Workers key their cached attachments by a per-call
+session id and drop the previous session's mappings when a new one
+arrives, so steady-state worker memory is bounded by one call's
+segments.  A broken pool (crashed worker) is discarded and rebuilt on
+the next call.
+
+Segment lifecycle: every segment is created by the *parent* and tracked
+in a :class:`SegmentRegistry`; ``unlink()`` runs in a ``finally`` so no
+``/dev/shm`` entry survives normal exit, a worker exception, or a broken
+pool.  Workers only ever attach by name — handles travel as picklable
+:class:`SharedArraySpec` tuples, which keeps the engine safe under the
+``spawn`` start method (Windows/macOS) as well as ``fork``.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+
+#: every segment this engine creates is named with this prefix, so leak
+#: checks (and humans inspecting /dev/shm) can attribute them.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: byte alignment of packed arrays inside a segment (>= any dtype's
+#: itemsize here; keeps every view naturally aligned for NumPy).
+_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle to a 1-D array living in a named shared segment.
+
+    Only metadata travels between processes — the receiving side attaches
+    to the segment by ``name`` and wraps the bytes at ``offset`` in an
+    ndarray of ``size`` elements of ``dtype``.  Many arrays share one
+    segment (packing keeps the number of ``shm_open``/``mmap`` calls — the
+    dominant fixed cost — independent of k and the chunk count).
+    ``writable`` marks output buffers; input attachments are mapped
+    read-only.
+    """
+
+    name: str
+    dtype: str
+    size: int
+    offset: int = 0
+    writable: bool = False
+
+    def as_array(self, buf) -> np.ndarray:
+        return np.ndarray(
+            (self.size,),
+            dtype=np.dtype(self.dtype),
+            buffer=buf,
+            offset=self.offset,
+        )
+
+
+def _new_segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid():x}_{secrets.token_hex(6)}"
+
+
+def list_live_segments() -> List[str]:
+    """Names of engine-owned segments currently present in ``/dev/shm``.
+
+    POSIX-only diagnostic used by the leak tests; returns ``[]`` where
+    shared memory is not exposed as a filesystem.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    return sorted(f for f in os.listdir(root) if f.startswith(SEGMENT_PREFIX))
+
+
+class SegmentRegistry:
+    """Parent-side owner of shared segments.
+
+    Centralizes creation so cleanup is a single idempotent
+    :meth:`unlink` — called in a ``finally`` by the engine, and again by
+    ``__exit__`` when used as a context manager, covering worker-crash
+    and mid-setup error paths.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._views: Dict[SharedArraySpec, np.ndarray] = {}
+
+    # ------------------------------------------------------------ create
+    def _create(self, nbytes: int) -> shared_memory.SharedMemory:
+        seg = shared_memory.SharedMemory(
+            create=True, name=_new_segment_name(), size=max(int(nbytes), 1)
+        )
+        self._segments[seg.name.lstrip("/")] = seg
+        return seg
+
+    def _pack(
+        self, layouts: Sequence[Tuple[int, np.dtype]], *, writable: bool
+    ) -> List[SharedArraySpec]:
+        """One segment holding all ``(size, dtype)`` arrays, aligned."""
+        offsets = []
+        cursor = 0
+        for size, dtype in layouts:
+            offsets.append(cursor)
+            cursor += -(-(int(size) * dtype.itemsize) // _ALIGN) * _ALIGN
+        seg = self._create(cursor)
+        name = seg.name.lstrip("/")
+        specs = []
+        for (size, dtype), offset in zip(layouts, offsets):
+            spec = SharedArraySpec(
+                name, dtype.str, int(size), offset, writable=writable
+            )
+            self._views[spec] = spec.as_array(seg.buf)
+            specs.append(spec)
+        return specs
+
+    def publish(self, arrays: Sequence[np.ndarray]) -> List[SharedArraySpec]:
+        """Copy ``arrays`` into one new read-only segment; returns the
+        per-array attach handles."""
+        arrays = [np.ascontiguousarray(a) for a in arrays]
+        specs = self._pack(
+            [(a.size, a.dtype) for a in arrays], writable=False
+        )
+        for spec, arr in zip(specs, arrays):
+            self._views[spec][...] = arr
+        return specs
+
+    def allocate(
+        self, layouts: Sequence[Tuple[int, np.dtype]]
+    ) -> List[SharedArraySpec]:
+        """One new writable segment holding a ``(size, dtype)`` array per
+        entry of ``layouts``."""
+        return self._pack(
+            [(size, np.dtype(dtype)) for size, dtype in layouts],
+            writable=True,
+        )
+
+    # ------------------------------------------------------------ access
+    def view(self, spec: SharedArraySpec) -> np.ndarray:
+        return self._views[spec]
+
+    def read_out(self, spec: SharedArraySpec) -> np.ndarray:
+        """Private copy of an array's contents (survives :meth:`unlink`)."""
+        return self._views[spec].copy()
+
+    # ----------------------------------------------------------- cleanup
+    def unlink(self) -> None:
+        """Drop views, close and unlink every owned segment (idempotent)."""
+        self._views.clear()
+        segments, self._segments = self._segments, {}
+        for seg in segments.values():
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - a leaked external view
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SegmentRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+class SegmentAttachments:
+    """Worker-side cache of attached segments (spec -> ndarray view).
+
+    Each worker process attaches to a given segment at most once; input
+    views are mapped with ``writeable=False`` so a buggy kernel cannot
+    corrupt the shared addends.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._views: Dict[SharedArraySpec, np.ndarray] = {}
+
+    def attach(self, spec: SharedArraySpec) -> np.ndarray:
+        view = self._views.get(spec)
+        if view is None:
+            seg = self._segments.get(spec.name)
+            if seg is None:
+                seg = shared_memory.SharedMemory(name=spec.name)
+                self._segments[spec.name] = seg
+            view = spec.as_array(seg.buf)
+            if not spec.writable:
+                view.flags.writeable = False
+            self._views[spec] = view
+        return view
+
+    def close(self) -> None:
+        """Release every mapping (view refs must be dropped first)."""
+        self._views.clear()
+        segments, self._segments = self._segments, {}
+        for seg in segments.values():
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - view still referenced
+                pass
+
+
+# --------------------------------------------------------------------------
+# Worker side.  Tasks carry a per-call *session* (input handles + kernel
+# arguments, a few KB of pickled metadata); workers cache the attachments
+# and reconstructed matrices for the session and drop them when a task
+# from a newer session arrives.  Shipping the session with the task
+# rather than via a pool initializer is what lets one long-lived pool
+# serve many calls.
+# --------------------------------------------------------------------------
+
+_WORKER_SESSION: dict = {"id": None, "attach": None, "mats": None, "meta": None}
+
+
+def _ensure_session(session: dict) -> dict:
+    state = _WORKER_SESSION
+    if state["id"] != session["id"]:
+        state["mats"] = None  # drop matrix views before closing mappings
+        if state["attach"] is not None:
+            state["attach"].close()
+        state["id"] = session["id"]
+        state["attach"] = SegmentAttachments()
+        state["meta"] = session
+    return state
+
+
+def _worker_mats(state: dict) -> Sequence[CSCMatrix]:
+    if state["mats"] is None:
+        att = state["attach"]
+        state["mats"] = [
+            CSCMatrix(
+                info["shape"],
+                att.attach(info["indptr"]),
+                att.attach(info["indices"]),
+                att.attach(info["data"]),
+                sorted=info["sorted"],
+                check=False,
+            )
+            for info in state["meta"]["mats"]
+        ]
+    return state["mats"]
+
+
+def _compute_chunk(task) -> tuple:
+    """Wave 1: run the kernel on columns ``[j0, j1)`` of the shared
+    inputs and stage the result in this chunk's scratch slot.
+
+    Returns the symbolic sizing of the chunk (exact per-column output
+    counts) plus the chunk stats; the values themselves stay in shared
+    memory and never cross the pipe.
+    """
+    session, j0, j1, scratch_indices, scratch_data = task
+    state = _ensure_session(session)
+    # Deferred: executor imports this module.
+    from repro.parallel.executor import _run_chunk
+
+    views = [A.col_view(j0, j1) for A in _worker_mats(state)]
+    _, sub, st, st_sym = _run_chunk(
+        session["method"], j0, views, session["sorted_output"],
+        session["kwargs"],
+    )
+    att = state["attach"]
+    idx_buf = att.attach(scratch_indices)
+    dat_buf = att.attach(scratch_data)
+    if sub.nnz > idx_buf.size:
+        raise RuntimeError(
+            f"chunk [{j0}, {j1}) produced {sub.nnz} entries, more than its "
+            f"input-nnz bound {idx_buf.size} — kernel violated the "
+            "structural-union invariant"
+        )
+    if sub.indices.dtype != idx_buf.dtype or sub.data.dtype != dat_buf.dtype:
+        raise RuntimeError(
+            f"chunk [{j0}, {j1}) emitted dtypes "
+            f"({sub.indices.dtype}, {sub.data.dtype}) but the shared "
+            f"scratch buffers are ({idx_buf.dtype}, {dat_buf.dtype}); "
+            "update the shm engine's buffer dtypes alongside the kernels"
+        )
+    idx_buf[: sub.nnz] = sub.indices
+    dat_buf[: sub.nnz] = sub.data
+    return j0, np.diff(sub.indptr), bool(sub.sorted), st, st_sym
+
+
+def _scatter_chunks(task) -> int:
+    """Wave 2: copy staged chunks into their slices of the output buffer.
+
+    Each worker receives one batch (the copies are balanced by
+    construction — chunks have near-equal nnz), so the scatter costs a
+    single pool round-trip per worker.
+    """
+    session, batch = task
+    state = _ensure_session(session)
+    att = state["attach"]
+    done = 0
+    for nnz, lo, scratch_indices, scratch_data, out_indices, out_data in batch:
+        att.attach(out_indices)[lo : lo + nnz] = att.attach(scratch_indices)[:nnz]
+        att.attach(out_data)[lo : lo + nnz] = att.attach(scratch_data)[:nnz]
+        done += 1
+    return done
+
+
+# --------------------------------------------------------------------------
+# Parent side.
+# --------------------------------------------------------------------------
+
+
+def _chunk_input_nnz(
+    mats: Sequence[CSCMatrix], ranges: Sequence[Tuple[int, int]]
+) -> List[int]:
+    return [
+        int(sum(int(A.indptr[j1]) - int(A.indptr[j0]) for A in mats))
+        for j0, j1 in ranges
+    ]
+
+
+class SharedMemoryPool:
+    """Persistent process pool + per-call segment sessions.
+
+    One engine instance owns at most one ``ProcessPoolExecutor``; the
+    pool survives across :meth:`run` calls with the same worker count,
+    amortizing process startup.  Calls are serialized by an internal
+    lock (concurrent sessions on one pool would thrash the workers'
+    attachment caches).  :meth:`shutdown` releases the workers; the
+    module-level default engine keeps its workers until interpreter
+    exit.
+    """
+
+    def __init__(self, mp_context=None) -> None:
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._workers = 0
+        self._lock = threading.Lock()
+
+    def _get_pool(self, threads: int) -> ProcessPoolExecutor:
+        if self._pool is None or self._workers != threads:
+            self.shutdown()
+            self._pool = ProcessPoolExecutor(
+                max_workers=threads, mp_context=self._mp_context
+            )
+            self._workers = threads
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the worker pool (next :meth:`run` builds a fresh one)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._workers = 0
+
+    def run(
+        self,
+        mats: Sequence[CSCMatrix],
+        method: str,
+        ranges: Sequence[Tuple[int, int]],
+        *,
+        sorted_output: bool,
+        kwargs: dict,
+        threads: int,
+    ):
+        """Execute ``method`` over ``ranges`` on the shared-memory pool.
+
+        Returns ``(matrix, stat_items)`` with ``stat_items`` a list of
+        ``(j0, stats, stats_symbolic)`` per chunk, chunk-identical to
+        what the thread/process executors produce.
+        """
+        with self._lock:
+            try:
+                return self._run_locked(
+                    mats, method, ranges,
+                    sorted_output=sorted_output, kwargs=kwargs,
+                    threads=threads,
+                )
+            except BrokenProcessPool:
+                # A dead worker poisons the whole pool; drop it so the
+                # next call starts from a clean fork.
+                self.shutdown()
+                raise
+
+    def _run_locked(
+        self, mats, method, ranges, *, sorted_output, kwargs, threads
+    ):
+        from repro.core.symbolic import chunk_output_layout
+
+        m, n = mats[0].shape
+        registry = SegmentRegistry()
+        try:
+            input_specs = registry.publish(
+                [arr for A in mats for arr in (A.indptr, A.indices, A.data)]
+            )
+            session = {
+                "id": secrets.token_hex(8),
+                "mats": [
+                    {
+                        "shape": A.shape,
+                        "sorted": A.sorted,
+                        "indptr": input_specs[3 * i],
+                        "indices": input_specs[3 * i + 1],
+                        "data": input_specs[3 * i + 2],
+                    }
+                    for i, A in enumerate(mats)
+                ],
+                "method": method,
+                "sorted_output": sorted_output,
+                "kwargs": kwargs,
+            }
+            # Scratch staging slots, sized by each chunk's summed input
+            # nnz — an exact upper bound on its output nnz.  All current
+            # kernels emit int64 indices and float64 values (workers
+            # verify).
+            scratch_specs = registry.allocate(
+                [
+                    layout
+                    for nnz_in in _chunk_input_nnz(mats, ranges)
+                    for layout in ((nnz_in, np.int64), (nnz_in, np.float64))
+                ]
+            )
+            scratch = list(zip(scratch_specs[0::2], scratch_specs[1::2]))
+            pool = self._get_pool(threads)
+            futures = [
+                pool.submit(_compute_chunk, (session, j0, j1, s_idx, s_dat))
+                for (j0, j1), (s_idx, s_dat) in zip(ranges, scratch)
+            ]
+            try:
+                col_nnz = np.zeros(n, dtype=np.int64)
+                stat_items = []
+                sorted_flags = []
+                for fut in futures:
+                    j0, counts, sub_sorted, st, st_sym = fut.result()
+                    col_nnz[j0 : j0 + counts.size] = counts
+                    stat_items.append((j0, st, st_sym))
+                    sorted_flags.append(sub_sorted)
+                indptr, offsets = chunk_output_layout(col_nnz, ranges)
+                total = int(indptr[-1])
+                out_indices, out_data = registry.allocate(
+                    [(total, np.int64), (total, np.float64)]
+                )
+                scatter_tasks = [
+                    (hi - lo, lo, s_idx, s_dat, out_indices, out_data)
+                    for (lo, hi), (s_idx, s_dat) in zip(offsets, scratch)
+                ]
+                batches = [
+                    scatter_tasks[i::threads]
+                    for i in range(threads)
+                    if scatter_tasks[i::threads]
+                ]
+                for fut in [
+                    pool.submit(_scatter_chunks, (session, b)) for b in batches
+                ]:
+                    fut.result()
+            except BaseException:
+                # Stop touching segments that are about to be unlinked.
+                for fut in futures:
+                    fut.cancel()
+                raise
+            out = CSCMatrix(
+                (m, n),
+                indptr,
+                registry.read_out(out_indices),
+                registry.read_out(out_data),
+                sorted=all(sorted_flags),
+                check=False,
+            )
+        finally:
+            registry.unlink()
+        return out, stat_items
+
+
+#: default engine used by ``executor="shm"`` — its workers persist
+#: across calls (fork cost paid once per process / worker count).
+_DEFAULT_ENGINE = SharedMemoryPool()
+
+
+def shm_parallel_run(
+    mats: Sequence[CSCMatrix],
+    method: str,
+    ranges: Sequence[Tuple[int, int]],
+    *,
+    sorted_output: bool,
+    kwargs: dict,
+    threads: int,
+):
+    """Run on the module's default :class:`SharedMemoryPool` engine."""
+    return _DEFAULT_ENGINE.run(
+        mats, method, ranges,
+        sorted_output=sorted_output, kwargs=kwargs, threads=threads,
+    )

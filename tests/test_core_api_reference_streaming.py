@@ -194,3 +194,51 @@ class TestStreaming:
     def test_accumulator_empty_raises(self):
         with pytest.raises(ValueError):
             StreamingAccumulator().result()
+
+    @pytest.mark.parametrize("backend", ["fast", "instrumented"])
+    def test_backend_kwarg_results_identical(self, small_collection, backend):
+        got = spkadd_streaming(
+            small_collection, batch_size=3, backend=backend
+        )
+        assert matrices_equal(got, sum_with_scipy(small_collection))
+        acc = StreamingAccumulator(batch_size=3, backend=backend)
+        for m in small_collection:
+            acc.push(m)
+        assert matrices_equal(acc.result(), sum_with_scipy(small_collection))
+
+    def test_default_backend_is_fast(self, small_collection, monkeypatch):
+        """Streaming defaults to the registry's fast engine (ROADMAP):
+        no slot ops are metered, unlike an instrumented run."""
+        from repro.kernels.registry import BACKEND_ENV_VAR
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        acc = StreamingAccumulator(batch_size=100)
+        for m in small_collection:
+            acc.push(m)
+        acc.result()
+        assert acc.stats.ops == 0
+        inst = StreamingAccumulator(batch_size=100, backend="instrumented")
+        for m in small_collection:
+            inst.push(m)
+        inst.result()
+        assert inst.stats.ops > 0
+
+    def test_env_var_overrides_default(self, small_collection, monkeypatch):
+        from repro.kernels.registry import BACKEND_ENV_VAR
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "instrumented")
+        acc = StreamingAccumulator(batch_size=100)
+        for m in small_collection:
+            acc.push(m)
+        acc.result()
+        assert acc.stats.ops > 0
+
+    def test_kernel_and_backend_conflict(self):
+        with pytest.raises(ValueError, match="kernel= or backend="):
+            StreamingAccumulator(
+                kernel=lambda ms, **kw: ms[0], backend="fast"
+            )
+        with pytest.raises(ValueError, match="kernel= or backend="):
+            spkadd_streaming(
+                [], kernel=lambda ms, **kw: ms[0], backend="fast"
+            )

@@ -183,3 +183,71 @@ def test_streaming_batch_size_invariant(mats, batch):
     expect = dense_sum(mats)
     got = spkadd_streaming(mats, batch_size=batch)
     assert np.allclose(got.to_dense(), expect, atol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory executor: fuzz ragged chunk boundaries.  The strategies
+# deliberately generate empty columns, all-empty addends, k=1, and chunk
+# counts far above the column count; the shm path must stay bitwise
+# identical to the thread path through all of it.
+# ---------------------------------------------------------------------------
+
+SHM_COMMON = dict(
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def assert_bitwise_equal(a, b):
+    assert a.shape == b.shape
+    assert a.data.dtype == b.data.dtype
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.data.view(np.uint8), b.data.view(np.uint8))
+
+
+@settings(**SHM_COMMON)
+@given(matrix_collection(), st.integers(2, 5), st.integers(1, 3))
+def test_shm_ragged_chunks_match_thread(mats, threads, chunks_per_thread):
+    ref = spkadd(
+        mats, method="hash", threads=threads, executor="thread",
+        chunks_per_thread=chunks_per_thread,
+    )
+    got = spkadd(
+        mats, method="hash", threads=threads, executor="shm",
+        chunks_per_thread=chunks_per_thread,
+    )
+    assert_bitwise_equal(ref.matrix, got.matrix)
+    assert ref.stats.output_nnz == got.stats.output_nnz
+
+
+@settings(**SHM_COMMON)
+@given(csc_matrix(max_m=30, max_n=6, max_nnz=40), st.integers(1, 4),
+       st.integers(2, 4))
+def test_shm_cancellation_and_duplicates(mat, copies, threads):
+    """Duplicate-heavy collections with exact cancellation: addends
+    alternate +A, -A so every partial sum cancels exactly, leaving all
+    explicit zeros — which SpKAdd keeps as structural nonzeros,
+    identically on every executor."""
+    mats = [mat, mat.scaled(-1.0)] * copies
+    ref = spkadd(mats, method="hash", threads=threads, executor="thread")
+    got = spkadd(mats, method="hash", threads=threads, executor="shm")
+    assert_bitwise_equal(ref.matrix, got.matrix)
+    assert got.matrix.nnz == mat.nnz  # cancelled entries stay structural
+    if got.matrix.nnz:
+        assert np.all(got.matrix.data == 0.0)
+
+
+@settings(**SHM_COMMON)
+@given(matrix_collection(max_k=3), st.integers(2, 4))
+def test_shm_all_zero_and_empty_chunks(mats, threads):
+    """Pad the collection with all-zero addends (empty column blocks in
+    every chunk) and compare against the serial oracle."""
+    shape = mats[0].shape
+    from repro.formats.csc import CSCMatrix as C
+
+    padded = [C.zeros(shape)] + mats + [C.zeros(shape)]
+    got = spkadd(padded, method="hash", threads=threads, executor="shm")
+    ref = spkadd(padded, method="hash")
+    assert_bitwise_equal(ref.matrix, got.matrix)

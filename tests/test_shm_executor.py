@@ -1,0 +1,284 @@
+"""Cross-executor conformance suite + shm engine lifecycle tests.
+
+The contract under test: for every SpKAdd method, both kernel backends,
+sorted and unsorted outputs, and float64/int64/int32 value dtypes, the
+serial path and the thread / process / shm executors produce
+**bit-identical** CSC arrays (indptr, indices, values) — not merely
+numerically close.  Plus the shm engine's lifecycle guarantees: no
+``/dev/shm`` segment survives a normal run, a worker exception, or
+engine reuse, and the engine works under the ``spawn`` start method.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.api import spkadd
+from repro.core.symbolic import chunk_output_layout
+from repro.formats.csc import CSCMatrix
+from repro.parallel.executor import (
+    EXECUTOR_ENV_VAR,
+    _total_col_nnz,
+    parallel_spkadd,
+    resolve_executor,
+)
+from repro.parallel.partition import split_weighted
+from repro.parallel.shm import (
+    SegmentRegistry,
+    SharedMemoryPool,
+    list_live_segments,
+)
+from tests.conftest import random_collection, shuffle_columns
+
+EXECUTORS = ("serial", "thread", "process", "shm")
+PARALLEL_EXECUTORS = ("thread", "process", "shm")
+
+
+def run(mats, executor, *, method="hash", threads=3, **kw):
+    if executor == "serial":
+        return spkadd(mats, method=method, threads=1, **kw)
+    return spkadd(mats, method=method, threads=threads, executor=executor, **kw)
+
+
+def assert_bit_identical(a: CSCMatrix, b: CSCMatrix, label=""):
+    assert a.shape == b.shape, label
+    assert a.indptr.dtype == b.indptr.dtype, label
+    assert a.indices.dtype == b.indices.dtype, label
+    assert a.data.dtype == b.data.dtype, label
+    assert np.array_equal(a.indptr, b.indptr), label
+    assert np.array_equal(a.indices, b.indices), label
+    # Bitwise value comparison: catches sign-of-zero / last-ulp drift
+    # that allclose-style checks would wave through.
+    assert np.array_equal(
+        a.data.view(np.uint8), b.data.view(np.uint8)
+    ), label
+
+
+def canonical(mat: CSCMatrix) -> CSCMatrix:
+    out = mat.copy()
+    out.sort_indices()
+    return out
+
+
+class TestConformance:
+    @pytest.mark.parametrize(
+        "method", ["hash", "sliding_hash", "spa", "heap", "2way_tree",
+                   "scipy_tree"]
+    )
+    def test_methods_bit_identical_across_executors(self, method):
+        mats = random_collection(31, 250, 19, 6)
+        ref = run(mats, "serial", method=method)
+        for executor in PARALLEL_EXECUTORS:
+            got = run(mats, executor, method=method)
+            assert_bit_identical(ref.matrix, got.matrix, f"{method}/{executor}")
+            assert ref.matrix.sorted == got.matrix.sorted
+            assert ref.stats.input_nnz == got.stats.input_nnz
+            assert ref.stats.output_nnz == got.stats.output_nnz
+
+    @pytest.mark.parametrize("backend", ["fast", "instrumented"])
+    @pytest.mark.parametrize("sorted_output", [True, False])
+    def test_hash_backends_and_sortedness(self, backend, sorted_output):
+        mats = random_collection(32, 220, 17, 5)
+        results = {
+            executor: run(
+                mats, executor, backend=backend, sorted_output=sorted_output
+            ).matrix
+            for executor in EXECUTORS
+        }
+        # The three pools chunk columns identically, so they must agree
+        # bit for bit in every configuration.
+        for executor in ("process", "shm"):
+            assert_bit_identical(
+                results["thread"], results[executor],
+                f"{backend}/sorted={sorted_output}/{executor}",
+            )
+        if sorted_output or backend == "fast":
+            # Sorted columns are canonical: serial agrees exactly too.
+            assert_bit_identical(results["serial"], results["thread"])
+        else:
+            # Instrumented unsorted output orders a column by table
+            # slot, which depends on the (chunk-local) table size — the
+            # entry *sets* still match serial bitwise after sorting.
+            assert_bit_identical(
+                canonical(results["serial"]), canonical(results["thread"])
+            )
+
+    @pytest.mark.parametrize("value_dtype", [np.float64, np.int64, np.int32])
+    def test_value_dtypes(self, value_dtype):
+        rng = np.random.default_rng(77)
+        mats = []
+        for _ in range(5):
+            nnz = int(rng.integers(20, 90))
+            mats.append(
+                CSCMatrix.from_arrays(
+                    (60, 12),
+                    rng.integers(0, 60, nnz),
+                    rng.integers(0, 12, nnz),
+                    rng.integers(-50, 50, nnz),
+                    value_dtype=value_dtype,
+                )
+            )
+        ref = run(mats, "serial")
+        # Current contract: CSC assembly carries values as float64
+        # regardless of input dtype (the "dtype-generic value pipelines"
+        # ROADMAP item will widen this together with the shm engine's
+        # buffer dtypes — the worker-side dtype guard flags any drift).
+        assert ref.matrix.data.dtype == np.float64
+        for executor in PARALLEL_EXECUTORS:
+            got = run(mats, executor)
+            assert_bit_identical(ref.matrix, got.matrix, str(value_dtype))
+
+    def test_unsorted_inputs(self, rng):
+        mats = [
+            shuffle_columns(rng, m) for m in random_collection(33, 150, 11, 4)
+        ]
+        ref = run(mats, "serial")
+        for executor in PARALLEL_EXECUTORS:
+            assert_bit_identical(ref.matrix, run(mats, executor).matrix)
+
+    def test_ragged_edges(self):
+        # k=1, a single column, more chunks than columns, empty addends,
+        # and exact cancellation (explicit zeros must be kept as
+        # structural nonzeros by every executor).
+        rng = np.random.default_rng(5)
+        single = [
+            CSCMatrix.from_arrays(
+                (40, 1), rng.integers(0, 40, 15), np.zeros(15, dtype=np.int64),
+                rng.normal(size=15),
+            )
+        ]
+        a = random_collection(34, 90, 7, 1)[0]
+        cancel = [a, a.scaled(-1.0)]
+        empty_heavy = [a, CSCMatrix.zeros(a.shape), CSCMatrix.zeros(a.shape)]
+        for mats in (single, cancel, empty_heavy):
+            ref = run(mats, "serial")
+            for executor in PARALLEL_EXECUTORS:
+                got = run(mats, executor, threads=5)
+                assert_bit_identical(ref.matrix, got.matrix)
+        assert run(cancel, "shm").matrix.nnz == a.nnz  # zeros kept
+
+
+class TestShmLifecycle:
+    def test_no_segments_after_success(self):
+        mats = random_collection(35, 200, 13, 5)
+        before = list_live_segments()
+        run(mats, "shm")
+        assert list_live_segments() == before
+
+    def test_no_segments_after_worker_exception(self):
+        mats = random_collection(36, 200, 13, 5)
+        before = list_live_segments()
+        with pytest.raises(TypeError):
+            # An unknown kernel kwarg raises inside the worker, after
+            # the engine has created its segments.
+            spkadd(mats, method="hash", threads=2, executor="shm",
+                   definitely_not_a_kwarg=1)
+        assert list_live_segments() == before
+        # The engine (and its persistent pool) must stay usable.
+        res = run(mats, "shm")
+        assert_bit_identical(res.matrix, run(mats, "thread").matrix)
+
+    def test_registry_context_manager_unlinks(self):
+        before = list_live_segments()
+        with SegmentRegistry() as reg:
+            specs = reg.publish([np.arange(10), np.ones(3)])
+            assert len(list_live_segments()) == len(before) + 1
+            assert np.array_equal(reg.read_out(specs[0]), np.arange(10))
+        assert list_live_segments() == before
+
+    def test_spawn_start_method(self):
+        # Spec handles travel by name+offset only, so the engine must
+        # work where fork is unavailable (Windows/macOS default).
+        mats = random_collection(37, 120, 9, 4)
+        ranges = [
+            (j0, j1)
+            for j0, j1 in split_weighted(_total_col_nnz(mats), 4)
+            if j1 > j0
+        ]
+        engine = SharedMemoryPool(
+            mp_context=multiprocessing.get_context("spawn")
+        )
+        try:
+            out, stat_items = engine.run(
+                mats, "hash", ranges,
+                sorted_output=True, kwargs={"backend": "fast"}, threads=2,
+            )
+        finally:
+            engine.shutdown()
+        assert_bit_identical(out, run(mats, "thread").matrix)
+        assert len(stat_items) == len(ranges)
+        assert list_live_segments() == []
+
+
+class TestExecutorSelection:
+    def test_trace_sink_rejected_by_all_multiprocess_executors(self):
+        # Both process-based pools must fail the same way: same type,
+        # before any worker is spawned.
+        mats = random_collection(38, 100, 7, 3)
+        errors = {}
+        for executor in ("process", "shm"):
+            with pytest.raises(ValueError, match="trace_sink") as ei:
+                parallel_spkadd(
+                    mats, "hash", threads=2, executor=executor,
+                    backend="instrumented", trace_sink=[],
+                )
+            errors[executor] = ei.value
+        assert type(errors["process"]) is type(errors["shm"])
+        # The thread pool still supports traces.
+        sink = []
+        parallel_spkadd(
+            mats, "hash", threads=2, executor="thread",
+            backend="instrumented", trace_sink=sink,
+        )
+        assert sink
+
+    def test_resolve_executor(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        assert resolve_executor(None) == "thread"
+        assert resolve_executor("auto") == "thread"
+        assert resolve_executor("shm") == "shm"
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "shm")
+        assert resolve_executor(None) == "shm"
+        assert resolve_executor("process") == "process"  # explicit wins
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("rocketship")
+
+    def test_env_override_routes_spkadd(self, monkeypatch):
+        mats = random_collection(39, 150, 11, 4)
+        ref = spkadd(mats, method="hash", threads=2, executor="thread")
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "shm")
+        got = spkadd(mats, method="hash", threads=2)
+        assert_bit_identical(ref.matrix, got.matrix)
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "warp-drive")
+        with pytest.raises(ValueError, match="unknown executor"):
+            spkadd(mats, method="hash", threads=2)
+
+
+class TestSymbolicSizing:
+    def test_backend_symbolic_col_nnz_shared(self):
+        """Both engines expose the same exact-nnz sizing pass, and it
+        predicts the shm executor's preallocated layout exactly."""
+        from repro.core.symbolic import exact_output_col_nnz
+        from repro.kernels import get_backend
+
+        mats = random_collection(40, 120, 9, 4)
+        exact = exact_output_col_nnz(mats)
+        for name in ("fast", "instrumented"):
+            got = get_backend(name).symbolic_col_nnz(mats)
+            assert np.array_equal(got, exact), name
+        out = run(mats, "shm").matrix
+        assert np.array_equal(np.diff(out.indptr), exact)
+
+
+class TestChunkOutputLayout:
+    def test_layout_matches_counts(self):
+        col_nnz = np.array([3, 0, 2, 5, 0, 1], dtype=np.int64)
+        ranges = [(0, 2), (2, 5), (5, 6)]
+        indptr, offsets = chunk_output_layout(col_nnz, ranges)
+        assert list(indptr) == [0, 3, 3, 5, 10, 10, 11]
+        assert offsets == [(0, 3), (3, 10), (10, 11)]
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            chunk_output_layout(np.ones(4, dtype=np.int64), [(0, 9)])
