@@ -138,6 +138,17 @@ def main(argv=None) -> int:
             executor=executor, backends=("fast",),
         )
 
+    # Dtype series: the identical workload with float32 values through
+    # the shm engine — the value pipeline preserves the narrow dtype end
+    # to end, halving the bytes published/staged/scattered per entry.
+    er_f32 = [A.astype(np.float32) for A in er]
+    print(f"dtype series: hash/fast float32, shm, T={exec_threads}")
+    bench_workload(
+        "er_k8_n65536_f32", er_f32, ["hash"],
+        threads=exec_threads, repeats=args.repeats, records=records,
+        executor="shm", backends=("fast",),
+    )
+
     if not args.quick:
         print("RMAT workload: k=16, m=2^15, n=64, d=16")
         rm = rmat_collection(1 << 15, 64, d=16.0, k=16, seed=12)
@@ -152,9 +163,10 @@ def main(argv=None) -> int:
                 threads=threads, repeats=args.repeats, records=records,
             )
 
-    def wall_of(method, backend, *, threads=1, executor=None):
+    def wall_of(method, backend, *, threads=1, executor=None,
+                workload="er_k8_n65536"):
         for r in records:
-            if (r["workload"] == "er_k8_n65536" and r["method"] == method
+            if (r["workload"] == workload and r["method"] == method
                     and r["backend"] == backend
                     and r["threads"] == threads
                     and (executor is None or r.get("executor") == executor)):
@@ -172,8 +184,14 @@ def main(argv=None) -> int:
     print(f"hash shm-vs-process executor speedup (k=8, m=2^16, T=4): "
           f"{shm_speedup}x")
 
+    shm_f32 = wall_of("hash", "fast", threads=4, executor="shm",
+                      workload="er_k8_n65536_f32")
+    f32_speedup = round(shm / shm_f32, 2) if shm and shm_f32 else None
+    print(f"hash shm float32-vs-float64 speedup (k=8, m=2^16, T=4): "
+          f"{f32_speedup}x")
+
     payload = {
-        "schema": 2,
+        "schema": 3,
         "preset": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -182,6 +200,7 @@ def main(argv=None) -> int:
         "headline": {
             "hash_fast_vs_instrumented_speedup": speedup,
             "hash_shm_vs_process_speedup": shm_speedup,
+            "hash_shm_float32_vs_float64_speedup": f32_speedup,
         },
         "results": records,
     }

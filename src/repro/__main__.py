@@ -31,20 +31,22 @@ def _cmd_demo(args) -> int:
     from repro.parallel.executor import resolve_executor
 
     executor = resolve_executor(args.executor)
+    value_dtype = None if args.value_dtype == "auto" else args.value_dtype
     print(f"{args.pattern.upper()} workload: k={args.k}, "
           f"{args.m}x{args.n}, d={args.d} "
           f"[backend={args.backend}, executor={executor}, "
-          f"threads={args.threads}]")
+          f"threads={args.threads}, value_dtype={args.value_dtype}]")
     from repro.core.api import BACKEND_AWARE_METHODS
 
     for method in repro.available_methods():
         res = repro.spkadd(
             mats, method=method, threads=args.threads,
             executor=executor,
+            value_dtype=value_dtype,
             backend=args.backend if method in BACKEND_AWARE_METHODS else None,
         )
         print(f"  {method:20s} nnz={res.matrix.nnz:<9d} "
-              f"{res.stats.summary()}")
+              f"dtype={res.matrix.data.dtype} {res.stats.summary()}")
     return 0
 
 
@@ -135,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "shared memory); auto = REPRO_EXECUTOR env var, "
                         "then 'thread'")
     d.add_argument("--threads", type=int, default=1)
+    d.add_argument("--value-dtype",
+                   choices=["auto", "float32", "float64", "int32", "int64"],
+                   default="auto",
+                   help="value dtype override for the sum (auto = preserve "
+                        "the inputs' dtype; integer requests accumulate in "
+                        "exact 64-bit integers)")
     d.set_defaults(func=_cmd_demo)
 
     sub.add_parser("table3", help="Table III").set_defaults(

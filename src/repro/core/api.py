@@ -110,6 +110,7 @@ def spkadd(
     sorted_output: bool = True,
     backend: Optional[str] = None,
     executor: Optional[str] = None,
+    value_dtype=None,
     **kwargs,
 ) -> SpKAddResult:
     """Add a collection of sparse matrices: ``B = sum_i A_i``.
@@ -158,6 +159,17 @@ def spkadd(
         :mod:`repro.parallel.shm`).  ``None`` (or ``"auto"``) consults
         the ``REPRO_EXECUTOR`` environment variable and then defaults to
         ``"thread"``.  Only consulted when ``threads > 1``.
+    value_dtype:
+        Optional override of the value dtype the sum is computed (and
+        returned) in.  ``None`` preserves the inputs: the output dtype
+        is the accumulator dtype of the inputs' common
+        ``np.result_type`` — float64 in, float64 out; float32-only
+        stays float32; integer collections sum exactly in 64-bit
+        integers (no float64 round-trip); mixed int + float promotes to
+        float.  An explicit dtype casts the addends up front, so every
+        method, backend, and executor computes in it (integer requests
+        still widen to the exact 64-bit accumulator; see
+        :func:`repro.kernels.resolve_value_dtype`).
 
     Returns
     -------
@@ -165,6 +177,11 @@ def spkadd(
     """
     check_nonempty(mats)
     check_same_shape(mats)
+    if value_dtype is not None:
+        from repro.kernels import resolve_value_dtype
+
+        vdt = resolve_value_dtype(mats, value_dtype)
+        mats = [A.astype(vdt) for A in mats]
     if method not in _REGISTRY:
         raise ValueError(
             f"unknown method {method!r}; choose from {available_methods()}"

@@ -14,6 +14,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.hashtable import resolve_value_dtype
 from repro.formats.csc import CSCMatrix
 
 #: Default target for entries per gathered block; blocks are sized so the
@@ -77,6 +78,7 @@ def gather_block(
     j0: int,
     j1: int,
     scratch: Optional[BlockScratch] = None,
+    value_dtype=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Concatenate the entries of columns ``[j0, j1)`` from all addends.
 
@@ -86,10 +88,20 @@ def gather_block(
     ``col_in_nnz[j]`` is the summed input nnz of block column ``j`` —
     the symbolic-phase load-balancing weight.
 
+    Values are gathered in the *accumulator* dtype resolved over all k
+    addends (:func:`~repro.core.hashtable.resolve_value_dtype`) — not
+    over just the matrices populating this particular block — so every
+    block, chunk, and executor of one SpKAdd call sums in the same
+    dtype even when a mixed-dtype collection leaves some addends empty
+    in some blocks.  Kernels iterating many blocks resolve once and
+    pass ``value_dtype`` to skip the per-block resolution.
+
     With a :class:`BlockScratch` the gather writes into preallocated
     buffers and returns views; without one it allocates fresh arrays.
     """
     width = j1 - j0
+    if value_dtype is None:
+        value_dtype = resolve_value_dtype(mats)
     col_in = np.zeros(width, dtype=np.int64)
     arange = np.arange(width, dtype=np.int64)
     parts = []
@@ -105,10 +117,9 @@ def gather_block(
         return (
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=value_dtype),
             col_in,
         )
-    value_dtype = np.result_type(*[v.dtype for _, _, v in parts])
     if scratch is None:
         cols_buf = np.empty(total, dtype=np.int64)
         rows_buf = np.empty(total, dtype=np.int64)
@@ -147,7 +158,7 @@ def assemble_from_block_outputs(
     block_outputs: Sequence[Tuple[int, np.ndarray, np.ndarray, np.ndarray]],
     *,
     sorted: bool,
-    value_dtype=np.float64,
+    value_dtype=None,
 ) -> CSCMatrix:
     """Stitch per-block k-way outputs into one CSC matrix.
 
@@ -155,8 +166,16 @@ def assemble_from_block_outputs(
     with ``cols_local`` *nondecreasing* within a block (each kernel emits
     columns in order).  Blocks must cover ``[0, n)`` disjointly but may
     arrive out of order (parallel executors).
+
+    ``value_dtype`` fixes the output value dtype; kernels pass the dtype
+    they resolved for the whole call so an all-empty input still yields
+    a correctly-typed (empty) data array.  ``None`` infers it from the
+    block values (float64 when there are no blocks at all).
     """
     m, n = shape
+    if value_dtype is None:
+        vd = [v.dtype for _, _, _, v in block_outputs]
+        value_dtype = np.result_type(*vd) if vd else np.float64
     ordered = list(block_outputs)
     ordered.sort(key=lambda t: t[0])
     counts = np.zeros(n, dtype=np.int64)

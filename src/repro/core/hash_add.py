@@ -82,12 +82,15 @@ def hash_symbolic(
     st.algorithm = st.algorithm or "hash_symbolic"
     st.k = len(mats)
     st.n_cols = n
+    value_dtype = eng.result_value_dtype(mats)
     bc = block_cols or choose_block_cols(mats)
     scratch = BlockScratch()
     out = np.zeros(n, dtype=np.int64)
     col_in = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1, scratch)
+        cols, rows, vals, in_nnz = gather_block(
+            mats, j0, j1, scratch, value_dtype
+        )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
@@ -140,17 +143,20 @@ def _spkadd_fast_fused(
     facade callers see a populated two-phase result.  Output columns are
     sorted even under ``sorted_output=False`` (sortedness is free here).
     """
-    from repro.kernels import sort_reduce
+    from repro.kernels import resolve_value_dtype, sort_reduce
 
     shape = check_same_shape(mats)
     m, n = shape
+    value_dtype = resolve_value_dtype(mats)
     bc = block_cols or choose_block_cols(mats)
     scratch = BlockScratch()
     blocks = []
     col_in = np.zeros(n, dtype=np.int64)
     col_out = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1, scratch)
+        cols, rows, vals, in_nnz = gather_block(
+            mats, j0, j1, scratch, value_dtype
+        )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
@@ -179,7 +185,9 @@ def _spkadd_fast_fused(
         st_sym.col_ops = col_in.astype(np.float64)
     # sort_reduce emits key-sorted (column-major, row-ascending) output,
     # so the matrix is sorted whether or not the caller asked for it.
-    return assemble_from_block_outputs(shape, blocks, sorted=True)
+    return assemble_from_block_outputs(
+        shape, blocks, sorted=True, value_dtype=value_dtype
+    )
 
 
 def spkadd_hash(
@@ -231,12 +239,15 @@ def spkadd_hash(
             mats, block_cols=block_cols, stats=stats_symbolic,
             trace_sink=trace_sink, backend=eng.name,
         )
+    value_dtype = eng.result_value_dtype(mats)
     bc = block_cols or choose_block_cols(mats)
     scratch = BlockScratch()
     blocks = []
     col_in = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1, scratch)
+        cols, rows, vals, in_nnz = gather_block(
+            mats, j0, j1, scratch, value_dtype
+        )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
@@ -275,5 +286,6 @@ def spkadd_hash(
     # A stat-less backend emits sorted columns whether or not they were
     # asked for (sortedness is free in sort/reduce).
     return assemble_from_block_outputs(
-        shape, blocks, sorted=sorted_output or not eng.provides_stats
+        shape, blocks, sorted=sorted_output or not eng.provides_stats,
+        value_dtype=value_dtype,
     )

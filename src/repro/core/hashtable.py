@@ -50,6 +50,39 @@ def accum_dtype(vals_dtype: np.dtype) -> np.dtype:
     raise TypeError(f"cannot accumulate values of dtype {vals_dtype}")
 
 
+def resolve_value_dtype(mats=(), value_dtype=None) -> np.dtype:
+    """The value dtype SpKAdd computes (and emits) in for ``mats``.
+
+    With ``value_dtype`` given it is the caller's override, validated
+    and widened by :func:`accum_dtype` (so ``float32`` stays ``float32``
+    while integer requests accumulate — and are returned — in the wide
+    integer of matching signedness).  Otherwise the common dtype of the
+    inputs' value arrays is found with ``np.result_type`` (the usual
+    mixed-dtype promotion: int + float -> float, float32-only stays
+    float32) and then widened the same way, so the answer is always a
+    dtype the accumulation engines natively produce.  ``mats`` may hold
+    matrices (anything with a ``.data`` array) or plain dtypes; an empty
+    collection resolves to float64.
+
+    Every layer of the pipeline — block gathers, kernel accumulators,
+    output assembly, and the shared-memory executor's scratch/output
+    segments — sizes its value buffers from this one function, which is
+    what keeps the emitted dtype consistent across backends, executors,
+    and chunkings.
+    """
+    if value_dtype is not None:
+        return accum_dtype(value_dtype)
+    dtypes = []
+    for A in mats:
+        data = getattr(A, "data", None)
+        dtypes.append(
+            data.dtype if isinstance(data, np.ndarray) else np.dtype(A)
+        )
+    if not dtypes:
+        return np.dtype(np.float64)
+    return accum_dtype(np.result_type(*dtypes))
+
+
 @dataclass
 class HashAccumResult:
     """Output of one vectorized hash accumulation.

@@ -35,6 +35,7 @@ from repro.core.blocks import (
     iter_col_blocks,
     split_keys,
 )
+from repro.core.hashtable import resolve_value_dtype
 from repro.core.pairwise import ENTRY_BYTES
 from repro.core.stats import KernelStats
 from repro.formats.csc import CSCMatrix
@@ -95,26 +96,29 @@ def _heap_merge(
     block_cols: Optional[int],
     st: KernelStats,
 ) -> CSCMatrix:
+    # Deferred: the kernels package imports core modules.
+    from repro.kernels import sort_reduce
+
     m, n = shape
+    value_dtype = resolve_value_dtype(mats)
     bc = block_cols or choose_block_cols(mats)
     k = len(mats)
     blocks = []
     col_out = np.zeros(n, dtype=np.int64)
     col_in = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1)
+        cols, rows, vals, in_nnz = gather_block(
+            mats, j0, j1, value_dtype=value_dtype
+        )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
         keys = composite_keys(cols, rows, m)
-        order = np.argsort(keys, kind="stable")
-        sk, sv = keys[order], vals[order]
-        is_new = np.empty(sk.size, dtype=bool)
-        is_new[0] = True
-        np.not_equal(sk[1:], sk[:-1], out=is_new[1:])
-        starts = np.flatnonzero(is_new)
-        out_keys = sk[starts]
-        out_vals = np.add.reduceat(sv, starts)
+        # sort_reduce sums each key's duplicates strictly left to right
+        # (the heapq impl's extraction order), so the two
+        # implementations agree to the last bit in every dtype —
+        # reduceat would reassociate float segments by the last ulp.
+        out_keys, out_vals = sort_reduce(keys, vals)
         ocols, orows = split_keys(out_keys, m)
         col_out[j0:j1] = np.bincount(ocols, minlength=j1 - j0)
         _charge(st, k, int(rows.size), int(out_keys.size))
@@ -122,13 +126,22 @@ def _heap_merge(
     st.col_in_nnz = col_in
     st.col_out_nnz = col_out
     st.col_ops = col_in * _heap_cost_per_entry(k)
-    return assemble_from_block_outputs(shape, blocks, sorted=True)
+    return assemble_from_block_outputs(
+        shape, blocks, sorted=True, value_dtype=value_dtype
+    )
 
 
 def _heap_loop(mats: Sequence[CSCMatrix], shape, st: KernelStats) -> CSCMatrix:
     """Literal Algorithm 3: a (row, matrix_id) min-heap per column."""
     m, n = shape
     k = len(mats)
+    value_dtype = resolve_value_dtype(mats)
+    # Accumulate in numpy scalars of the resolved dtype: stepwise
+    # float32 rounding (and integer wrapping) then matches the
+    # vectorized merge implementation bit for bit — Python's binary64
+    # floats would round differently, and float() would corrupt int64
+    # values above 2**53.
+    cast = value_dtype.type
     columns: List = []
     col_in = np.zeros(n, dtype=np.int64)
     col_out = np.zeros(n, dtype=np.int64)
@@ -149,7 +162,7 @@ def _heap_loop(mats: Sequence[CSCMatrix], shape, st: KernelStats) -> CSCMatrix:
         # and refill from the source matrix.
         while heap:
             r, i = heapq.heappop(heap)
-            v = float(views[i][1][cursor[i] - 1])
+            v = cast(views[i][1][cursor[i] - 1])
             if out_rows and out_rows[-1] == r:
                 out_vals[-1] += v
             else:
@@ -160,9 +173,14 @@ def _heap_loop(mats: Sequence[CSCMatrix], shape, st: KernelStats) -> CSCMatrix:
                 heapq.heappush(heap, (int(rows_i[cursor[i]]), i))
                 cursor[i] += 1
         col_out[j] = len(out_rows)
-        columns.append((np.asarray(out_rows, dtype=np.int64), np.asarray(out_vals)))
+        columns.append((
+            np.asarray(out_rows, dtype=np.int64),
+            np.asarray(out_vals, dtype=value_dtype),
+        ))
         _charge(st, k, int(col_in[j]), len(out_rows))
     st.col_in_nnz = col_in
     st.col_out_nnz = col_out
     st.col_ops = col_in * _heap_cost_per_entry(k)
-    return CSCMatrix.from_columns(shape, columns, sorted=True)
+    return CSCMatrix.from_columns(
+        shape, columns, sorted=True, value_dtype=value_dtype
+    )

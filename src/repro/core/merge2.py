@@ -14,6 +14,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core.hashtable import accum_dtype
+
 
 def merge_sorted_keyed(
     ka: np.ndarray,
@@ -28,19 +30,24 @@ def merge_sorted_keyed(
     appear once in the output with values summed — the sparse-add
     semantics.
 
-    Returns ``(keys, vals)`` with strictly increasing keys.
+    Returns ``(keys, vals)`` with strictly increasing keys.  Values are
+    summed — and returned — in the accumulator dtype of the promoted
+    input dtypes (:func:`~repro.core.hashtable.accum_dtype`), matching
+    the k-way engines: integer inputs widen to exact 64-bit sums
+    instead of round-tripping through float64, float32 stays float32.
     """
+    out_dtype = accum_dtype(np.result_type(va.dtype, vb.dtype))
     na, nb = ka.shape[0], kb.shape[0]
     if na == 0:
-        return kb.copy(), vb.copy()
+        return kb.copy(), vb.astype(out_dtype, copy=True)
     if nb == 0:
-        return ka.copy(), va.copy()
+        return ka.copy(), va.astype(out_dtype, copy=True)
     # Stable interleave: equal keys place the A element first.
     pos_a = np.arange(na, dtype=np.int64) + np.searchsorted(kb, ka, side="left")
     pos_b = np.arange(nb, dtype=np.int64) + np.searchsorted(ka, kb, side="right")
     total = na + nb
     mk = np.empty(total, dtype=np.int64)
-    mv = np.empty(total, dtype=np.result_type(va.dtype, vb.dtype))
+    mv = np.empty(total, dtype=out_dtype)
     mk[pos_a] = ka
     mv[pos_a] = va
     mk[pos_b] = kb

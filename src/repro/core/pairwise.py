@@ -80,8 +80,15 @@ def add_pair(
 
 
 def _prepare(mats: Sequence[CSCMatrix], presort: bool, stats: KernelStats) -> List[CSCMatrix]:
+    from repro.core.hashtable import resolve_value_dtype
+
     check_nonempty(mats)
     check_same_shape(mats)
+    # Cast to the resolved accumulator dtype up front (a no-op for the
+    # common all-float64 case): the merges would widen pair by pair
+    # anyway, and the add-free k=1 path must emit the same dtype every
+    # other method (and the shm executor's scratch) resolves to.
+    vdt = resolve_value_dtype(mats)
     out = []
     for A in mats:
         if not A.sorted:
@@ -92,7 +99,7 @@ def _prepare(mats: Sequence[CSCMatrix], presort: bool, stats: KernelStats) -> Li
             A = A.copy()
             A.sort_indices()
             stats.ops += A.nnz * max(int(np.log2(max(A.nnz, 2))), 1)
-        out.append(A)
+        out.append(A.astype(vdt))
     return out
 
 

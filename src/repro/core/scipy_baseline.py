@@ -26,9 +26,21 @@ from repro.util.checks import check_nonempty, check_same_shape
 
 
 def _to_scipy_list(mats: Sequence[CSCMatrix]) -> List[sp.csc_matrix]:
+    """Scipy copies of the addends, cast to the pipeline's resolved
+    value dtype.
+
+    Casting up front makes scipy's ``+`` accumulate in the same dtype
+    every other method does (exact 64-bit integer sums instead of
+    wrap-prone narrow ints) and keeps the output dtype identical across
+    serial and all parallel executors — the shm engine's scratch is
+    sized from the same rule.
+    """
+    from repro.core.hashtable import resolve_value_dtype
+
     check_nonempty(mats)
     check_same_shape(mats)
-    return [to_scipy(m).tocsc() for m in mats]
+    vdt = resolve_value_dtype(mats)
+    return [to_scipy(m).tocsc().astype(vdt, copy=False) for m in mats]
 
 
 def _record_pair(st: KernelStats, a_nnz: int, b_nnz: int, out_nnz: int) -> None:

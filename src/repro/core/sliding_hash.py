@@ -90,6 +90,7 @@ def _run_partitioned(
 
     eng = resolve_backend(backend, need_trace=trace_sink is not None)
     m, n = check_same_shape(mats)
+    value_dtype = eng.result_value_dtype(mats)
     entry_bytes = SYMBOLIC_ENTRY_BYTES if phase == "symbolic" else ADD_ENTRY_BYTES
     bc = block_cols or choose_block_cols(mats)
     scratch = BlockScratch()
@@ -98,7 +99,9 @@ def _run_partitioned(
     blocks = []
     max_parts = 1
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1, scratch)
+        cols, rows, vals, in_nnz = gather_block(
+            mats, j0, j1, scratch, value_dtype
+        )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
@@ -163,7 +166,7 @@ def _run_partitioned(
                 st.add_table_traffic(tsize * entry_bytes, res.slot_ops)
                 st.ds_bytes_peak = max(st.ds_bytes_peak, tsize * entry_bytes)
         okeys = np.concatenate(out_k) if out_k else np.empty(0, dtype=np.int64)
-        ovals = np.concatenate(out_v) if out_v else np.empty(0, dtype=np.float64)
+        ovals = np.concatenate(out_v) if out_v else np.empty(0, dtype=value_dtype)
         ocols_all = okeys // np.int64(m)
         counts[j0:j1] += np.bincount(ocols_all, minlength=width)
         st.input_nnz += int(rows.size)
@@ -186,7 +189,9 @@ def _run_partitioned(
         st.output_nnz = int(counts.sum())
         return counts
     st.col_out_nnz = np.asarray(col_out_nnz, dtype=np.int64).copy()
-    return assemble_from_block_outputs((m, n), blocks, sorted=sorted_output)
+    return assemble_from_block_outputs(
+        (m, n), blocks, sorted=sorted_output, value_dtype=value_dtype
+    )
 
 
 def sliding_hash_symbolic(

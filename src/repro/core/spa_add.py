@@ -33,6 +33,7 @@ from repro.core.blocks import (
     gather_block,
     iter_col_blocks,
 )
+from repro.core.hashtable import resolve_value_dtype
 from repro.core.pairwise import ENTRY_BYTES
 from repro.core.stats import KernelStats
 from repro.formats.csc import CSCMatrix
@@ -50,10 +51,20 @@ def _accumulate_dense(rows: np.ndarray, vals: np.ndarray, m: int):
     operationally identical to the SPA update — then the touched rows
     are extracted.  Output rows come out ascending (Algorithm 4 line 8,
     SORT(idx), which the paper performs when sorted output is desired).
+
+    The dense array carries the values' own (accumulator) dtype:
+    ``bincount``'s C loop is the fast path for float64 weights but
+    always emits float64, so every other dtype scatters with the
+    equally in-order ``np.add.at`` — integer sums stay exact integers
+    and float32 stays float32.
     """
-    dense = np.bincount(rows, weights=vals, minlength=m)
     touched = np.bincount(rows, minlength=m)
     idx = np.flatnonzero(touched)
+    if vals.dtype == np.float64:
+        dense = np.bincount(rows, weights=vals, minlength=m)
+    else:
+        dense = np.zeros(m, dtype=vals.dtype)
+        np.add.at(dense, rows, vals)
     return idx, dense[idx]
 
 
@@ -76,12 +87,15 @@ def spkadd_spa(
     st.k = len(mats)
     st.n_cols = n
     st.ds_bytes_peak = max(st.ds_bytes_peak, m * SPA_SLOT_BYTES)
+    value_dtype = resolve_value_dtype(mats)
     bc = block_cols or choose_block_cols(mats)
     blocks = []
     col_in = np.zeros(n, dtype=np.int64)
     col_out = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1)
+        cols, rows, vals, in_nnz = gather_block(
+            mats, j0, j1, value_dtype=value_dtype
+        )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
@@ -117,7 +131,9 @@ def spkadd_spa(
     st.col_in_nnz = col_in
     st.col_out_nnz = col_out
     st.col_ops = col_in + col_out
-    return assemble_from_block_outputs(shape, blocks, sorted=True)
+    return assemble_from_block_outputs(
+        shape, blocks, sorted=True, value_dtype=value_dtype
+    )
 
 
 def spkadd_sliding_spa(
@@ -148,12 +164,15 @@ def spkadd_sliding_spa(
     bounds_rows = row_partition_bounds(m, parts)
     part_m = int(np.max(np.diff(bounds_rows)))
     st.ds_bytes_peak = max(st.ds_bytes_peak, part_m * SPA_SLOT_BYTES)
+    value_dtype = resolve_value_dtype(mats)
     bc = block_cols or choose_block_cols(mats)
     blocks = []
     col_in = np.zeros(n, dtype=np.int64)
     col_out = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
-        cols, rows, vals, in_nnz = gather_block(mats, j0, j1)
+        cols, rows, vals, in_nnz = gather_block(
+            mats, j0, j1, value_dtype=value_dtype
+        )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
@@ -199,4 +218,6 @@ def spkadd_sliding_spa(
     st.col_in_nnz = col_in
     st.col_out_nnz = col_out
     st.col_ops = col_in + col_out
-    return assemble_from_block_outputs(shape, blocks, sorted=True)
+    return assemble_from_block_outputs(
+        shape, blocks, sorted=True, value_dtype=value_dtype
+    )

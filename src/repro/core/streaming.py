@@ -67,12 +67,37 @@ def _batches(it: Iterable[CSCMatrix], size: int) -> Iterator[List[CSCMatrix]]:
         yield batch
 
 
+def _resolve_cast(value_dtype):
+    """Matrix-cast closure for an explicit ``value_dtype`` override
+    (identity when ``None``: dtypes are preserved and mixed-dtype
+    streams promote per ``np.result_type`` as batches fold)."""
+    if value_dtype is None:
+        return lambda A: A
+    from repro.core.hashtable import resolve_value_dtype
+
+    vdt = resolve_value_dtype((), value_dtype)
+    return lambda A: A.astype(vdt)
+
+
+def _fold_batch(batch, kern, stats) -> CSCMatrix:
+    """Reduce one batch with the kernel; a single-matrix batch is
+    add-free but must still land on the resolved accumulator dtype
+    (``spkadd_streaming([one_int32_matrix])`` has to emit the same
+    int64 a length-2 stream — or the facade — would)."""
+    if len(batch) == 1:
+        from repro.core.hashtable import resolve_value_dtype
+
+        return batch[0].astype(resolve_value_dtype(batch))
+    return kern(batch, stats=stats)
+
+
 def spkadd_streaming(
     mats: Iterable[CSCMatrix],
     *,
     batch_size: int = 16,
     kernel: Optional[Callable[..., CSCMatrix]] = None,
     backend: Optional[str] = None,
+    value_dtype=None,
     stats: Optional[KernelStats] = None,
 ) -> CSCMatrix:
     """Sum a (possibly unbounded-length) stream of sparse matrices.
@@ -82,16 +107,23 @@ def spkadd_streaming(
     ``ceil(k/batch_size)`` 2-way folds of the running sum — asymptotically
     between hash SpKAdd and 2-way incremental, trading memory for work
     exactly as the paper describes.
+
+    ``value_dtype`` mirrors :func:`repro.spkadd`'s override: each
+    incoming matrix is cast as it is consumed so the running sum is
+    computed (and returned) in that dtype.  The default preserves the
+    stream's dtypes end to end.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    cast = _resolve_cast(value_dtype)
+    mats = (cast(A) for A in mats)
     kern = _resolve_kernel(kernel, backend)
     st = stats if stats is not None else KernelStats()
     st.algorithm = st.algorithm or f"streaming[b={batch_size}]"
     acc: Optional[CSCMatrix] = None
     for batch in _batches(mats, batch_size):
         st.k += len(batch)
-        partial = batch[0] if len(batch) == 1 else kern(batch, stats=st)
+        partial = _fold_batch(batch, kern, st)
         if acc is None:
             acc = partial
         else:
@@ -118,12 +150,14 @@ class StreamingAccumulator:
     """
 
     def __init__(
-        self, *, batch_size: int = 16, kernel=None, backend: Optional[str] = None
+        self, *, batch_size: int = 16, kernel=None,
+        backend: Optional[str] = None, value_dtype=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
         self._kernel = _resolve_kernel(kernel, backend)
+        self._cast = _resolve_cast(value_dtype)
         self._buffer: List[CSCMatrix] = []
         self._acc: Optional[CSCMatrix] = None
         self.stats = KernelStats(algorithm=f"streaming_acc[b={batch_size}]")
@@ -131,7 +165,7 @@ class StreamingAccumulator:
 
     def push(self, mat: CSCMatrix) -> None:
         """Add one matrix to the stream."""
-        self._buffer.append(mat)
+        self._buffer.append(self._cast(mat))
         self.pushed += 1
         if len(self._buffer) >= self.batch_size:
             self._flush()
@@ -142,7 +176,7 @@ class StreamingAccumulator:
         batch = self._buffer
         self._buffer = []
         self.stats.k += len(batch)
-        partial = batch[0] if len(batch) == 1 else self._kernel(batch, stats=self.stats)
+        partial = _fold_batch(batch, self._kernel, self.stats)
         if self._acc is None:
             self._acc = partial
         else:

@@ -13,6 +13,10 @@ from typing import Tuple
 import numpy as np
 
 DEFAULT_INDEX_DTYPE = np.int64
+
+#: fallback value dtype for empty/zero constructions only.  Constructors
+#: that receive values (``from_arrays``, ``from_columns``, the scipy
+#: converters) preserve the caller's dtype rather than coercing to this.
 DEFAULT_VALUE_DTYPE = np.float64
 
 
@@ -154,6 +158,27 @@ class CompressedBase:
     def major_nnz(self) -> np.ndarray:
         """nnz of each major slice (the load-balancing weights)."""
         return np.diff(self.indptr)
+
+    def astype(self, value_dtype, *, copy: bool = False) -> "CompressedBase":
+        """This matrix with its values cast to ``value_dtype``.
+
+        Returns ``self`` when the dtype already matches (unless
+        ``copy=True``); otherwise a new matrix sharing the index arrays
+        with the original (only the value array is rebuilt).  Beware
+        that casting can lose information — float64 -> float32 rounds,
+        float -> int truncates — exactly as ``ndarray.astype`` does.
+        """
+        dt = np.dtype(value_dtype)
+        if not copy and dt == self.data.dtype:
+            return self
+        return type(self)(
+            self.shape,
+            self.indptr,
+            self.indices,
+            self.data.astype(dt, copy=True),
+            sorted=self.sorted,
+            check=False,
+        )
 
     # ------------------------------------------------------------ mutation
     def sort_indices(self) -> None:

@@ -104,11 +104,14 @@ def from_scipy(mat: "sp.spmatrix", fmt: str = "csc"):
         s = sp.csc_matrix(mat)
         s.sort_indices()
         s.sum_duplicates()
+        # Indices widen to the repo-wide int64; values keep scipy's
+        # dtype — an int64 matrix round-trips exactly, with no float64
+        # detour losing integers above 2**53.
         return CSCMatrix(
             s.shape,
             s.indptr.astype(np.int64),
             s.indices.astype(np.int64),
-            s.data.astype(np.float64),
+            np.asarray(s.data).copy(),
             sorted=True,
         )
     if fmt == "csr":
@@ -119,7 +122,7 @@ def from_scipy(mat: "sp.spmatrix", fmt: str = "csc"):
             s.shape,
             s.indptr.astype(np.int64),
             s.indices.astype(np.int64),
-            s.data.astype(np.float64),
+            np.asarray(s.data).copy(),
             sorted=True,
         )
     if fmt == "coo":

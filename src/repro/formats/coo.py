@@ -14,7 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.formats.compressed import DEFAULT_INDEX_DTYPE, DEFAULT_VALUE_DTYPE
+from repro.formats.compressed import DEFAULT_INDEX_DTYPE
 
 
 @dataclass
@@ -35,7 +35,9 @@ class COOMatrix:
         self.shape = (int(shape[0]), int(shape[1]))
         self.rows = np.asarray(rows, dtype=DEFAULT_INDEX_DTYPE)
         self.cols = np.asarray(cols, dtype=DEFAULT_INDEX_DTYPE)
-        self.vals = np.asarray(vals, dtype=DEFAULT_VALUE_DTYPE)
+        # Indices normalize to int64; values keep the caller's dtype
+        # (sum_duplicates and to_dense follow it).
+        self.vals = np.asarray(vals)
         if not (self.rows.shape == self.cols.shape == self.vals.shape):
             raise ValueError("rows, cols, vals must be parallel 1-D arrays")
         if self.rows.size:
@@ -50,7 +52,12 @@ class COOMatrix:
         return int(self.rows.shape[0])
 
     def sum_duplicates(self) -> "COOMatrix":
-        """Collapse duplicate coordinates by summation; returns new COO."""
+        """Collapse duplicate coordinates by summation; returns new COO.
+
+        Sums are computed in ``vals.dtype`` (scipy semantics): narrow
+        integer containers wrap on overflow — widen ``vals`` first if
+        duplicate sums may exceed its range.
+        """
         if self.nnz == 0:
             return COOMatrix(self.shape, self.rows, self.cols, self.vals)
         order = np.lexsort((self.rows, self.cols))
@@ -60,7 +67,9 @@ class COOMatrix:
         np.logical_or(r[1:] != r[:-1], c[1:] != c[:-1], out=new[1:])
         group = np.flatnonzero(new)
         return COOMatrix(
-            self.shape, r[group], c[group], np.add.reduceat(v, group)
+            self.shape, r[group], c[group],
+            # dtype pinned: reduceat would widen small ints to int64.
+            np.add.reduceat(v, group, dtype=v.dtype),
         )
 
     def to_dense(self) -> np.ndarray:

@@ -41,13 +41,19 @@ class CSCMatrix(CompressedBase):
         *,
         sum_duplicates: bool = True,
         index_dtype=DEFAULT_INDEX_DTYPE,
-        value_dtype=DEFAULT_VALUE_DTYPE,
+        value_dtype=None,
     ) -> "CSCMatrix":
         """Build from COO-style triplet arrays.
 
         Duplicate ``(row, col)`` entries are summed when
         ``sum_duplicates`` (the FEM-assembly convention); otherwise they
-        must not occur.
+        must not occur.  ``value_dtype=None`` (the default) preserves
+        the dtype of ``vals`` — int64 values survive exactly, float32
+        stays float32; pass a dtype to cast explicitly.  Duplicates are
+        summed *in the stored dtype* (scipy's ``sum_duplicates``
+        semantics): a duplicate sum that overflows a narrow integer
+        container wraps, so pass ``value_dtype=np.int64`` when int32
+        triplets may collide past 2**31.
         """
         m, n = int(shape[0]), int(shape[1])
         rows = np.asarray(rows, dtype=index_dtype)
@@ -67,7 +73,8 @@ class CSCMatrix(CompressedBase):
             key_new[0] = True
             np.logical_or(rows[1:] != rows[:-1], cols[1:] != cols[:-1], out=key_new[1:])
             group = np.flatnonzero(key_new)
-            vals = np.add.reduceat(vals, group)
+            # dtype pinned: reduceat would widen small ints to int64.
+            vals = np.add.reduceat(vals, group, dtype=vals.dtype)
             rows, cols = rows[group], cols[group]
         indptr = build_indptr(cols, n)
         return cls(
@@ -86,17 +93,22 @@ class CSCMatrix(CompressedBase):
         *,
         sorted: bool = True,
         index_dtype=DEFAULT_INDEX_DTYPE,
-        value_dtype=DEFAULT_VALUE_DTYPE,
+        value_dtype=None,
     ) -> "CSCMatrix":
         """Assemble from an iterable of per-column ``(rows, vals)`` pairs.
 
         This is how the k-way kernels emit their output: one column at a
-        time, already deduplicated.
+        time, already deduplicated.  ``value_dtype=None`` infers the
+        common dtype of the column value arrays (float64 when every
+        column is empty).
         """
         m, n = int(shape[0]), int(shape[1])
         cols = list(columns)
         if len(cols) != n:
             raise ValueError(f"expected {n} columns, got {len(cols)}")
+        if value_dtype is None:
+            vd = [np.asarray(v).dtype for r, v in cols if len(r)]
+            value_dtype = np.result_type(*vd) if vd else DEFAULT_VALUE_DTYPE
         counts = np.fromiter((len(r) for r, _ in cols), dtype=np.int64, count=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])

@@ -35,9 +35,15 @@ class CSRMatrix(CompressedBase):
         *,
         sum_duplicates: bool = True,
         index_dtype=DEFAULT_INDEX_DTYPE,
-        value_dtype=DEFAULT_VALUE_DTYPE,
+        value_dtype=None,
     ) -> "CSRMatrix":
-        """Build from COO-style triplets (duplicates summed by default)."""
+        """Build from COO-style triplets (duplicates summed by default).
+
+        ``value_dtype=None`` preserves the dtype of ``vals``; duplicate
+        sums happen in the stored dtype (scipy semantics — narrow
+        integer containers wrap on overflow, pass a wider
+        ``value_dtype`` if triplets may collide past its range).
+        """
         m, n = int(shape[0]), int(shape[1])
         rows = np.asarray(rows, dtype=index_dtype)
         cols = np.asarray(cols, dtype=index_dtype)
@@ -56,7 +62,8 @@ class CSRMatrix(CompressedBase):
             key_new[0] = True
             np.logical_or(rows[1:] != rows[:-1], cols[1:] != cols[:-1], out=key_new[1:])
             group = np.flatnonzero(key_new)
-            vals = np.add.reduceat(vals, group)
+            # dtype pinned: reduceat would widen small ints to int64.
+            vals = np.add.reduceat(vals, group, dtype=vals.dtype)
             rows, cols = rows[group], cols[group]
         indptr = build_indptr(rows, m)
         return cls(

@@ -13,6 +13,7 @@ See :mod:`repro.kernels.registry` for the resolution rules (explicit
 argument > ``REPRO_BACKEND`` env var > caller default).
 """
 
+from repro.core.hashtable import resolve_value_dtype
 from repro.kernels.base import Backend
 from repro.kernels.fast import FastBackend, sort_reduce
 from repro.kernels.instrumented import InstrumentedBackend
@@ -33,5 +34,6 @@ __all__ = [
     "get_backend",
     "register_backend",
     "resolve_backend",
+    "resolve_value_dtype",
     "sort_reduce",
 ]

@@ -28,7 +28,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.hashtable import HashAccumResult
+from repro.core.hashtable import HashAccumResult, resolve_value_dtype
 
 
 class Backend:
@@ -61,6 +61,21 @@ class Backend:
     ) -> HashAccumResult:
         """Sum ``vals`` by ``keys``; see :func:`~repro.core.hashtable.hash_accumulate`."""
         raise NotImplementedError
+
+    def result_value_dtype(
+        self, mats, value_dtype=None
+    ) -> np.dtype:
+        """Value dtype this engine accumulates — and emits — for ``mats``.
+
+        The common ``np.result_type`` of the k inputs' value arrays
+        (or the caller's ``value_dtype`` override), widened to an
+        accumulator-native dtype by
+        :func:`repro.core.hashtable.resolve_value_dtype`.  Executors use
+        this to allocate output (and, for the shared-memory engine,
+        scratch) buffers in the dtype the kernels will actually produce
+        instead of assuming float64.
+        """
+        return resolve_value_dtype(mats, value_dtype)
 
     def symbolic_col_nnz(self, mats) -> np.ndarray:
         """Exact per-column output nnz of ``sum(mats)`` — the sizing

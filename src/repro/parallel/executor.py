@@ -83,6 +83,8 @@ def _total_col_nnz(mats: Sequence[CSCMatrix]) -> np.ndarray:
 def _concat_results(mats, parts):
     """Stitch per-chunk result matrices (disjoint column ranges) back
     into one CSC matrix."""
+    from repro.kernels import resolve_value_dtype
+
     m = mats[0].shape[0]
     n = mats[0].shape[1]
     indptr = np.zeros(n + 1, dtype=np.int64)
@@ -102,7 +104,8 @@ def _concat_results(mats, parts):
         (m, n),
         indptr,
         np.concatenate(indices) if indices else np.empty(0, dtype=np.int64),
-        np.concatenate(data) if data else np.empty(0, dtype=np.float64),
+        np.concatenate(data) if data
+        else np.empty(0, dtype=resolve_value_dtype(mats)),
         sorted=all(s.sorted for _, s in chunks),
         check=False,
     )

@@ -306,12 +306,17 @@ def _compute_chunk(task) -> tuple:
             f"input-nnz bound {idx_buf.size} — kernel violated the "
             "structural-union invariant"
         )
-    if sub.indices.dtype != idx_buf.dtype or sub.data.dtype != dat_buf.dtype:
+    # Scratch dtypes match the kernel's by construction (the parent
+    # sizes them from the same ``resolve_value_dtype`` rule the kernels
+    # accumulate in), so any value dtype — float32, exact int64, ... —
+    # stages without conversion.  A widening cast is tolerated; a lossy
+    # one (a kernel emitting wider values than the parent resolved)
+    # would silently round every value, so it stays a hard error.
+    if not np.can_cast(sub.data.dtype, dat_buf.dtype, casting="safe"):
         raise RuntimeError(
-            f"chunk [{j0}, {j1}) emitted dtypes "
-            f"({sub.indices.dtype}, {sub.data.dtype}) but the shared "
-            f"scratch buffers are ({idx_buf.dtype}, {dat_buf.dtype}); "
-            "update the shm engine's buffer dtypes alongside the kernels"
+            f"chunk [{j0}, {j1}) emitted {sub.data.dtype} values but the "
+            f"shared scratch is {dat_buf.dtype}; the kernel disagrees "
+            "with resolve_value_dtype — staging would lose precision"
         )
     idx_buf[: sub.nnz] = sub.indices
     dat_buf[: sub.nnz] = sub.data
@@ -417,8 +422,14 @@ class SharedMemoryPool:
         self, mats, method, ranges, *, sorted_output, kwargs, threads
     ):
         from repro.core.symbolic import chunk_output_layout
+        from repro.kernels import resolve_value_dtype
 
         m, n = mats[0].shape
+        # The kernels accumulate (and emit) in the dtype this rule
+        # resolves over the k addends; scratch and output segments are
+        # sized from it, so float32 collections move half the bytes of
+        # float64 and int64 sums stage exactly.
+        value_dtype = resolve_value_dtype(mats)
         registry = SegmentRegistry()
         try:
             input_specs = registry.publish(
@@ -441,14 +452,13 @@ class SharedMemoryPool:
                 "kwargs": kwargs,
             }
             # Scratch staging slots, sized by each chunk's summed input
-            # nnz — an exact upper bound on its output nnz.  All current
-            # kernels emit int64 indices and float64 values (workers
-            # verify).
+            # nnz — an exact upper bound on its output nnz — in the
+            # resolved value dtype.
             scratch_specs = registry.allocate(
                 [
                     layout
                     for nnz_in in _chunk_input_nnz(mats, ranges)
-                    for layout in ((nnz_in, np.int64), (nnz_in, np.float64))
+                    for layout in ((nnz_in, np.int64), (nnz_in, value_dtype))
                 ]
             )
             scratch = list(zip(scratch_specs[0::2], scratch_specs[1::2]))
@@ -469,7 +479,7 @@ class SharedMemoryPool:
                 indptr, offsets = chunk_output_layout(col_nnz, ranges)
                 total = int(indptr[-1])
                 out_indices, out_data = registry.allocate(
-                    [(total, np.int64), (total, np.float64)]
+                    [(total, np.int64), (total, value_dtype)]
                 )
                 scatter_tasks = [
                     (hi - lo, lo, s_idx, s_dat, out_indices, out_data)

@@ -54,8 +54,13 @@ def csc_matrix(draw, max_m=40, max_n=8, max_nnz=60):
     )
 
 
+#: dtypes the value-pipeline fuzz draws from; ints exercise the exact
+#: integer accumulators, float32 the narrow float path.
+VALUE_DTYPES = (np.float64, np.float32, np.int64, np.int32)
+
+
 @st.composite
-def matrix_collection(draw, max_k=6):
+def matrix_collection(draw, max_k=6, dtype_axis=False):
     m = draw(st.integers(2, 40))
     n = draw(st.integers(1, 6))
     k = draw(st.integers(1, max_k))
@@ -79,6 +84,10 @@ def matrix_collection(draw, max_k=6):
             ),
             dtype=np.float64,
         )
+        if dtype_axis:
+            # Per-matrix dtype: mixed collections must promote the same
+            # way on every backend and executor.
+            vals = vals.astype(draw(st.sampled_from(VALUE_DTYPES)))
         mats.append(CSCMatrix.from_arrays((m, n), rows, cols, vals))
     return mats
 
@@ -237,6 +246,25 @@ def test_shm_cancellation_and_duplicates(mat, copies, threads):
     assert got.matrix.nnz == mat.nnz  # cancelled entries stay structural
     if got.matrix.nnz:
         assert np.all(got.matrix.data == 0.0)
+
+
+@settings(**SHM_COMMON)
+@given(matrix_collection(max_k=4, dtype_axis=True), st.integers(2, 4))
+def test_shm_dtype_axis_bitwise_and_resolved(mats, threads):
+    """Fuzz the value-dtype axis: per-matrix dtypes drawn independently
+    (mixed collections included).  Every executor must produce the
+    resolved dtype and bitwise-identical values."""
+    from repro.kernels import resolve_value_dtype
+
+    expect = resolve_value_dtype(mats)
+    ref = spkadd(mats, method="hash").matrix
+    assert ref.data.dtype == expect
+    for executor in ("thread", "process", "shm"):
+        got = spkadd(
+            mats, method="hash", threads=threads, executor=executor
+        ).matrix
+        assert got.data.dtype == expect
+        assert_bitwise_equal(ref, got)
 
 
 @settings(**SHM_COMMON)

@@ -1,12 +1,15 @@
 """Cross-executor conformance suite + shm engine lifecycle tests.
 
 The contract under test: for every SpKAdd method, both kernel backends,
-sorted and unsorted outputs, and float64/int64/int32 value dtypes, the
-serial path and the thread / process / shm executors produce
-**bit-identical** CSC arrays (indptr, indices, values) — not merely
-numerically close.  Plus the shm engine's lifecycle guarantees: no
-``/dev/shm`` segment survives a normal run, a worker exception, or
-engine reuse, and the engine works under the ``spawn`` start method.
+sorted and unsorted outputs, and the full value-dtype axis
+(float32/float64/int32/int64 plus a mixed collection), the serial path
+and the thread / process / shm executors produce **bit-identical** CSC
+arrays (indptr, indices, values) — not merely numerically close — in
+the dtype the pipeline resolves for the inputs (dtypes are preserved;
+integer sums are exact 64-bit, never a float64 round-trip).  Plus the
+shm engine's lifecycle guarantees: no ``/dev/shm`` segment survives a
+normal run, a worker exception, or engine reuse, and the engine works
+under the ``spawn`` start method.
 """
 
 import multiprocessing
@@ -104,11 +107,25 @@ class TestConformance:
                 canonical(results["serial"]), canonical(results["thread"])
             )
 
-    @pytest.mark.parametrize("value_dtype", [np.float64, np.int64, np.int32])
-    def test_value_dtypes(self, value_dtype):
-        rng = np.random.default_rng(77)
+    #: value-dtype axis -> the dtype the whole pipeline must emit for
+    #: it ("mixed" is one int64 + one float32 + float64 addends, which
+    #: promotes to float64 per np.result_type).
+    DTYPE_AXIS = {
+        "float32": ([np.float32] * 5, np.float32),
+        "float64": ([np.float64] * 5, np.float64),
+        "int32": ([np.int32] * 5, np.int64),
+        "int64": ([np.int64] * 5, np.int64),
+        "mixed": (
+            [np.int64, np.float32, np.float64, np.float64, np.int32],
+            np.float64,
+        ),
+    }
+
+    @staticmethod
+    def dtype_collection(input_dtypes, seed=77):
+        rng = np.random.default_rng(seed)
         mats = []
-        for _ in range(5):
+        for dt in input_dtypes:
             nnz = int(rng.integers(20, 90))
             mats.append(
                 CSCMatrix.from_arrays(
@@ -116,18 +133,51 @@ class TestConformance:
                     rng.integers(0, 60, nnz),
                     rng.integers(0, 12, nnz),
                     rng.integers(-50, 50, nnz),
-                    value_dtype=value_dtype,
+                    value_dtype=dt,
                 )
             )
-        ref = run(mats, "serial")
-        # Current contract: CSC assembly carries values as float64
-        # regardless of input dtype (the "dtype-generic value pipelines"
-        # ROADMAP item will widen this together with the shm engine's
-        # buffer dtypes — the worker-side dtype guard flags any drift).
-        assert ref.matrix.data.dtype == np.float64
+        return mats
+
+    @pytest.mark.parametrize("backend", ["fast", "instrumented"])
+    @pytest.mark.parametrize("axis", sorted(DTYPE_AXIS))
+    def test_value_dtypes(self, axis, backend):
+        """Inputs' dtype is the output's dtype, bit-identically across
+        serial x thread x process x shm on both kernel backends."""
+        input_dtypes, expect = self.DTYPE_AXIS[axis]
+        mats = self.dtype_collection(input_dtypes)
+        ref = run(mats, "serial", backend=backend)
+        assert ref.matrix.data.dtype == np.dtype(expect), axis
         for executor in PARALLEL_EXECUTORS:
-            got = run(mats, executor)
-            assert_bit_identical(ref.matrix, got.matrix, str(value_dtype))
+            got = run(mats, executor, backend=backend)
+            assert got.matrix.data.dtype == np.dtype(expect), axis
+            assert_bit_identical(ref.matrix, got.matrix, f"{axis}/{executor}")
+
+    @pytest.mark.parametrize("method", ["hash", "sliding_hash", "spa",
+                                        "heap", "2way_tree", "scipy_tree"])
+    def test_int64_exact_beyond_2_53(self, method):
+        """ISSUE acceptance: int64 values above 2**53 (where float64
+        loses integers) sum exactly on every method and executor."""
+        big = 2**53
+        a = CSCMatrix.from_arrays(
+            (30, 6),
+            np.arange(12) % 30, np.arange(12) % 6,
+            np.full(12, big, dtype=np.int64),
+        )
+        b = CSCMatrix.from_arrays(
+            (30, 6),
+            np.arange(12) % 30, np.arange(12) % 6,
+            np.ones(12, dtype=np.int64),
+        )
+        mats = [a, b]
+        expect = big + 1  # not representable in float64 (rounds to 2**53)
+        ref = run(mats, "serial", method=method)
+        assert ref.matrix.data.dtype == np.int64
+        assert np.all(ref.matrix.data == expect)
+        for executor in PARALLEL_EXECUTORS:
+            got = run(mats, executor, method=method)
+            assert got.matrix.data.dtype == np.int64
+            assert np.all(got.matrix.data == expect), f"{method}/{executor}"
+            assert_bit_identical(ref.matrix, got.matrix)
 
     def test_unsorted_inputs(self, rng):
         mats = [
@@ -165,6 +215,19 @@ class TestShmLifecycle:
         before = list_live_segments()
         run(mats, "shm")
         assert list_live_segments() == before
+
+    def test_non_float64_runs_clean_no_worker_error(self):
+        """float32 (and exact int64) through the shm engine: the old
+        worker-side dtype-mismatch RuntimeError is gone — the scratch
+        and output segments are sized from the resolved value dtype —
+        and the run leaks no segments."""
+        for dtype in (np.float32, np.int64):
+            mats = TestConformance.dtype_collection([dtype] * 4, seed=91)
+            before = list_live_segments()
+            got = run(mats, "shm")  # previously raised RuntimeError
+            assert got.matrix.data.dtype == np.dtype(dtype)
+            assert list_live_segments() == before
+            assert_bit_identical(got.matrix, run(mats, "thread").matrix)
 
     def test_no_segments_after_worker_exception(self):
         mats = random_collection(36, 200, 13, 5)
