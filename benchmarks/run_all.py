@@ -61,7 +61,7 @@ def _time_call(fn, repeats: int):
 
 
 def bench_workload(name, mats, methods, *, threads, repeats, records,
-                   executor=None, backends=None):
+                   executor=None, backends=None, extra_kwargs=None):
     from repro.parallel.executor import resolve_executor
 
     total_in = sum(A.nnz for A in mats)
@@ -77,6 +77,8 @@ def bench_workload(name, mats, methods, *, threads, repeats, records,
             kwargs = {"backend": backend} if backend else {}
             if executor is not None:
                 kwargs["executor"] = executor
+            if extra_kwargs:
+                kwargs.update(extra_kwargs)
             wall, res = _time_call(
                 lambda: repro.spkadd(
                     mats, method=method, threads=threads, **kwargs
@@ -149,6 +151,68 @@ def main(argv=None) -> int:
         executor="shm", backends=("fast",),
     )
 
+    # Index-width series: one workload at both index widths through the
+    # shm engine.  The values are float32 on BOTH legs — the paper's
+    # 4-byte-value + 4-byte-index entry layout on the narrow leg vs the
+    # same values with 8-byte indices on the wide one, so the legs
+    # differ *only* in index width.  A denser collection (k=16, d=32)
+    # keeps byte movement, not per-call pool overhead, dominant.  The
+    # generator already stores int32 (the bounds fit); the wide leg
+    # casts the inputs up.  Explicit index_dtype on both legs so a
+    # REPRO_INDEX_DTYPE pin on a CI leg cannot collapse the comparison.
+    #
+    # The legs are timed PAIRED (repeats alternate i32/i64) rather than
+    # as two sequential best-of blocks: on a busy CI box the machine
+    # drifts between blocks by more than the ~12% effect, and pairing
+    # cancels that drift out of the ratio.
+    idx_threads = 2
+    er_idx = [
+        A.astype(np.float32)
+        for A in erdos_renyi_collection(QUICK_M, QUICK_N, d=32.0, k=16,
+                                        seed=13)
+    ]
+    er_idx64 = [A.with_index_dtype(np.int64) for A in er_idx]
+    print(f"index series: hash/fast float32 values, int32 vs int64 "
+          f"indices, shm, k=16, d=32, T={idx_threads} (paired)")
+    idx_legs = {
+        "er_k16_d32_f32_i32idx": (er_idx, "int32"),
+        "er_k16_d32_f32_i64idx": (er_idx64, "int64"),
+    }
+    idx_wall = {name: float("inf") for name in idx_legs}
+    idx_out = {}
+    for name, (leg_mats, leg_dtype) in idx_legs.items():  # warm the pool
+        idx_out[name] = repro.spkadd(
+            leg_mats, method="hash", threads=idx_threads, executor="shm",
+            backend="fast", index_dtype=leg_dtype,
+        )
+    for _ in range(max(args.repeats, 8)):
+        for name, (leg_mats, leg_dtype) in idx_legs.items():
+            t0 = time.perf_counter()
+            idx_out[name] = repro.spkadd(
+                leg_mats, method="hash", threads=idx_threads,
+                executor="shm", backend="fast", index_dtype=leg_dtype,
+            )
+            idx_wall[name] = min(
+                idx_wall[name], time.perf_counter() - t0
+            )
+    for name, (leg_mats, _) in idx_legs.items():
+        res = idx_out[name]
+        records.append({
+            "workload": name,
+            "method": "hash",
+            "backend": "fast",
+            "executor": "shm",
+            "threads": idx_threads,
+            "wall_s": round(idx_wall[name], 6),
+            "input_nnz": sum(A.nnz for A in leg_mats),
+            "output_nnz": res.matrix.nnz,
+            "ops": float(res.stats.ops),
+            "probes": float(res.stats.probes),
+        })
+        print(f"  {name:22s} hash fast shm T={idx_threads} "
+              f"{idx_wall[name] * 1e3:9.1f} ms  "
+              f"idx={res.matrix.indices.dtype}")
+
     if not args.quick:
         print("RMAT workload: k=16, m=2^15, n=64, d=16")
         rm = rmat_collection(1 << 15, 64, d=16.0, k=16, seed=12)
@@ -190,8 +254,18 @@ def main(argv=None) -> int:
     print(f"hash shm float32-vs-float64 speedup (k=8, m=2^16, T=4): "
           f"{f32_speedup}x")
 
+    shm_i32 = wall_of("hash", "fast", threads=2, executor="shm",
+                      workload="er_k16_d32_f32_i32idx")
+    shm_i64 = wall_of("hash", "fast", threads=2, executor="shm",
+                      workload="er_k16_d32_f32_i64idx")
+    idx_speedup = (
+        round(shm_i64 / shm_i32, 2) if shm_i32 and shm_i64 else None
+    )
+    print(f"hash shm int32-vs-int64 index speedup (k=16, m=2^16, d=32, "
+          f"float32 values, T=2): {idx_speedup}x")
+
     payload = {
-        "schema": 3,
+        "schema": 4,
         "preset": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -201,6 +275,7 @@ def main(argv=None) -> int:
             "hash_fast_vs_instrumented_speedup": speedup,
             "hash_shm_vs_process_speedup": shm_speedup,
             "hash_shm_float32_vs_float64_speedup": f32_speedup,
+            "hash_shm_int32_vs_int64_index_speedup": idx_speedup,
         },
         "results": records,
     }

@@ -32,10 +32,12 @@ def _cmd_demo(args) -> int:
 
     executor = resolve_executor(args.executor)
     value_dtype = None if args.value_dtype == "auto" else args.value_dtype
+    index_dtype = None if args.index_dtype == "auto" else args.index_dtype
     print(f"{args.pattern.upper()} workload: k={args.k}, "
           f"{args.m}x{args.n}, d={args.d} "
           f"[backend={args.backend}, executor={executor}, "
-          f"threads={args.threads}, value_dtype={args.value_dtype}]")
+          f"threads={args.threads}, value_dtype={args.value_dtype}, "
+          f"index_dtype={args.index_dtype}]")
     from repro.core.api import BACKEND_AWARE_METHODS
 
     for method in repro.available_methods():
@@ -43,10 +45,12 @@ def _cmd_demo(args) -> int:
             mats, method=method, threads=args.threads,
             executor=executor,
             value_dtype=value_dtype,
+            index_dtype=index_dtype,
             backend=args.backend if method in BACKEND_AWARE_METHODS else None,
         )
         print(f"  {method:20s} nnz={res.matrix.nnz:<9d} "
-              f"dtype={res.matrix.data.dtype} {res.stats.summary()}")
+              f"dtype={res.matrix.data.dtype} "
+              f"idx={res.matrix.indices.dtype} {res.stats.summary()}")
     return 0
 
 
@@ -143,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="value dtype override for the sum (auto = preserve "
                         "the inputs' dtype; integer requests accumulate in "
                         "exact 64-bit integers)")
+    d.add_argument("--index-dtype", choices=["auto", "int32", "int64"],
+                   default="auto",
+                   help="index width override for the output (auto = the "
+                        "paper's rule: int32 whenever dimensions and nnz "
+                        "fit, int64 otherwise; REPRO_INDEX_DTYPE sets the "
+                        "session default; an int32 request that cannot "
+                        "hold the call promotes instead of wrapping)")
     d.set_defaults(func=_cmd_demo)
 
     sub.add_parser("table3", help="Table III").set_defaults(

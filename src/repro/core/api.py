@@ -111,6 +111,7 @@ def spkadd(
     backend: Optional[str] = None,
     executor: Optional[str] = None,
     value_dtype=None,
+    index_dtype=None,
     **kwargs,
 ) -> SpKAddResult:
     """Add a collection of sparse matrices: ``B = sum_i A_i``.
@@ -170,6 +171,18 @@ def spkadd(
         method, backend, and executor computes in it (integer requests
         still widen to the exact 64-bit accumulator; see
         :func:`repro.kernels.resolve_value_dtype`).
+    index_dtype:
+        Optional override of the width the output's
+        ``indices``/``indptr`` are allocated in.  ``None`` applies the
+        paper's rule (via :func:`repro.kernels.resolve_index_dtype`,
+        overridable with the ``REPRO_INDEX_DTYPE`` environment
+        variable): 32-bit indices whenever the matrix dimensions and
+        the summed input nnz fit in int32, 64-bit otherwise — halving
+        index bytes for every realistically-sized call, the same lever
+        float32 values pull on the value side.  An explicit ``"int32"``
+        that cannot hold the call's bounds transparently promotes to
+        int64 (indices never wrap); the resolved width is identical
+        across every method, backend, and executor.
 
     Returns
     -------
@@ -205,19 +218,34 @@ def spkadd(
 
         return parallel_spkadd(
             mats, method, threads=threads, sorted_output=sorted_output,
-            executor=executor, **kwargs
+            executor=executor, index_dtype=index_dtype, **kwargs
         )
     if method == "sliding_hash" and "cache_bytes" in kwargs:
         kwargs.setdefault("threads", threads)
+    if index_dtype is not None and method in BACKEND_AWARE_METHODS:
+        # Serial hash-family kernels take the override directly; the
+        # parallel branch above passes it as a named argument instead.
+        kwargs.setdefault("index_dtype", index_dtype)
     st = KernelStats()
     runner = _REGISTRY[method]
     if method in _TWO_PHASE:
         out, st, st_sym = runner(
             mats, sorted_output=sorted_output, stats=st, **kwargs
         )
-        return SpKAddResult(out, st, st_sym, method=method)
-    out = runner(mats, stats=st, **kwargs)
-    return SpKAddResult(out, st, None, method=method)
+        res = SpKAddResult(out, st, st_sym, method=method)
+    else:
+        out = runner(mats, stats=st, **kwargs)
+        res = SpKAddResult(out, st, None, method=method)
+    if index_dtype is not None and method not in BACKEND_AWARE_METHODS:
+        # Methods without native index plumbing (heap, SPA, pairwise,
+        # scipy baselines) emit the default-resolved width; an explicit
+        # override casts their output through the guarded resolution.
+        from repro.kernels import resolve_index_dtype
+
+        res.matrix = res.matrix.with_index_dtype(
+            resolve_index_dtype(mats, index_dtype)
+        )
+    return res
 
 
 _register("2way_incremental", spkadd_2way_incremental)

@@ -15,6 +15,8 @@ from typing import Iterator, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.hashtable import resolve_value_dtype
+from repro.formats import compressed as _compressed
+from repro.formats.compressed import min_index_dtype, resolve_index_dtype
 from repro.formats.csc import CSCMatrix
 
 #: Default target for entries per gathered block; blocks are sized so the
@@ -62,12 +64,16 @@ class BlockScratch:
         self.rows = np.empty(0, dtype=np.int64)
         self.vals = np.empty(0, dtype=np.float64)
 
-    def reserve(self, n: int, value_dtype) -> None:
-        """Ensure capacity for ``n`` entries of ``value_dtype`` values."""
-        if self.cols.size < n:
-            cap = max(n, 2 * self.cols.size)
-            self.cols = np.empty(cap, dtype=np.int64)
-            self.rows = np.empty(cap, dtype=np.int64)
+    def reserve(self, n: int, value_dtype, index_dtype=np.int64) -> None:
+        """Ensure capacity for ``n`` entries of ``value_dtype`` values
+        and ``index_dtype`` row/column ids."""
+        if (
+            self.rows.size < n
+            or self.rows.dtype != np.dtype(index_dtype)
+        ):
+            cap = max(n, 2 * self.rows.size)
+            self.cols = np.empty(cap, dtype=index_dtype)
+            self.rows = np.empty(cap, dtype=index_dtype)
         if self.vals.size < n or self.vals.dtype != np.dtype(value_dtype):
             cap = max(n, 2 * self.vals.size)
             self.vals = np.empty(cap, dtype=value_dtype)
@@ -79,6 +85,7 @@ def gather_block(
     j1: int,
     scratch: Optional[BlockScratch] = None,
     value_dtype=None,
+    index_dtype=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Concatenate the entries of columns ``[j0, j1)`` from all addends.
 
@@ -93,8 +100,13 @@ def gather_block(
     over just the matrices populating this particular block — so every
     block, chunk, and executor of one SpKAdd call sums in the same
     dtype even when a mixed-dtype collection leaves some addends empty
-    in some blocks.  Kernels iterating many blocks resolve once and
-    pass ``value_dtype`` to skip the per-block resolution.
+    in some blocks.  ``index_dtype`` sizes the gathered row/column-id
+    buffers the same way (the call-level width from
+    :func:`~repro.formats.compressed.resolve_index_dtype`), halving the
+    gather working set when the call resolves to int32; the composite
+    keys built from them widen to int64 regardless (key arithmetic needs
+    the headroom).  Kernels iterating many blocks resolve once and pass
+    both dtypes to skip the per-block resolution.
 
     With a :class:`BlockScratch` the gather writes into preallocated
     buffers and returns views; without one it allocates fresh arrays.
@@ -102,8 +114,10 @@ def gather_block(
     width = j1 - j0
     if value_dtype is None:
         value_dtype = resolve_value_dtype(mats)
+    if index_dtype is None:
+        index_dtype = resolve_index_dtype(mats)
     col_in = np.zeros(width, dtype=np.int64)
-    arange = np.arange(width, dtype=np.int64)
+    arange = np.arange(width, dtype=index_dtype)
     parts = []
     total = 0
     for A in mats:
@@ -115,17 +129,17 @@ def gather_block(
             total += rows.size
     if not parts:
         return (
-            np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=index_dtype),
+            np.empty(0, dtype=index_dtype),
             np.empty(0, dtype=value_dtype),
             col_in,
         )
     if scratch is None:
-        cols_buf = np.empty(total, dtype=np.int64)
-        rows_buf = np.empty(total, dtype=np.int64)
+        cols_buf = np.empty(total, dtype=index_dtype)
+        rows_buf = np.empty(total, dtype=index_dtype)
         vals_buf = np.empty(total, dtype=value_dtype)
     else:
-        scratch.reserve(total, value_dtype)
+        scratch.reserve(total, value_dtype, index_dtype)
         cols_buf, rows_buf, vals_buf = scratch.cols, scratch.rows, scratch.vals
     pos = 0
     for counts, rows, vals in parts:
@@ -137,19 +151,42 @@ def gather_block(
     return cols_buf[:total], rows_buf[:total], vals_buf[:total], col_in
 
 
-def composite_keys(cols_local: np.ndarray, rows: np.ndarray, m: int) -> np.ndarray:
-    """Combine (column, row) into a single sortable/hashable int64 key.
+def composite_keys(
+    cols_local: np.ndarray, rows: np.ndarray, m: int, *, width: int = None
+) -> np.ndarray:
+    """Combine (column, row) into a single sortable/hashable integer key.
 
     Requires ``m * width`` to fit in int64, which every realistic matrix
     satisfies; validated by the caller once per matrix.
+
+    When the caller passes the block ``width`` (the exclusive bound on
+    ``cols_local``), the ids are int32, and the whole key range
+    ``m * width`` fits int32, the keys are built — and returned — in
+    int32: every key is below ``m * width``, so the narrow arithmetic
+    cannot wrap, and downstream sort/unique passes run on half the
+    bytes (the fast backend's argsort is the dominant cost of a
+    sort/reduce SpKAdd).  Otherwise key arithmetic widens to int64.
     """
-    return cols_local * np.int64(m) + rows
+    if (
+        width is not None
+        and cols_local.dtype == np.int32
+        and rows.dtype == np.int32
+        and int(m) * int(width) <= _compressed.INT32_INDEX_CAPACITY
+    ):
+        return cols_local * np.int32(m) + rows
+    return cols_local.astype(np.int64, copy=False) * np.int64(m) + rows
 
 
 def split_keys(keys: np.ndarray, m: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Inverse of :func:`composite_keys` -> (cols_local, rows)."""
-    cols = keys // np.int64(m)
-    rows = keys - cols * np.int64(m)
+    """Inverse of :func:`composite_keys` -> (cols_local, rows).
+
+    Width-preserving: int32 keys split with int32 arithmetic (``m``
+    fits by construction — it bounds every key), so narrow blocks stay
+    narrow through the split as well.
+    """
+    mm = keys.dtype.type(m)
+    cols = keys // mm
+    rows = keys - cols * mm
     return cols, rows
 
 
@@ -159,6 +196,7 @@ def assemble_from_block_outputs(
     *,
     sorted: bool,
     value_dtype=None,
+    index_dtype=None,
 ) -> CSCMatrix:
     """Stitch per-block k-way outputs into one CSC matrix.
 
@@ -171,6 +209,10 @@ def assemble_from_block_outputs(
     they resolved for the whole call so an all-empty input still yields
     a correctly-typed (empty) data array.  ``None`` infers it from the
     block values (float64 when there are no blocks at all).
+    ``index_dtype`` does the same for ``indices``/``indptr``; ``None``
+    resolves the paper's width rule from the shape and the assembled
+    entry count.  Either way the pointer array is widened if the entry
+    count overflows the requested width — indices never wrap.
     """
     m, n = shape
     if value_dtype is None:
@@ -185,9 +227,12 @@ def assemble_from_block_outputs(
             width = int(cols_local.max()) + 1
             counts[j0 : j0 + width] += np.bincount(cols_local, minlength=width)
             total += rows.size
-    indptr = np.zeros(n + 1, dtype=np.int64)
+    if index_dtype is None:
+        index_dtype = resolve_index_dtype(shape=shape, nnz=total)
+    index_dtype = np.promote_types(index_dtype, min_index_dtype(total))
+    indptr = np.zeros(n + 1, dtype=index_dtype)
     np.cumsum(counts, out=indptr[1:])
-    indices = np.empty(total, dtype=np.int64)
+    indices = np.empty(total, dtype=index_dtype)
     data = np.empty(total, dtype=value_dtype)
     cursor = 0
     for j0, cols_local, rows, vals in ordered:

@@ -68,12 +68,15 @@ def hash_symbolic(
     stats: Optional[KernelStats] = None,
     trace_sink: Optional[List[TraceItem]] = None,
     backend: Optional[str] = None,
+    index_dtype=None,
 ) -> np.ndarray:
     """Algorithm 6: per-column output nnz via an index-only hash table.
 
     Returns an ``int64`` array of length n with ``nnz(B(:,j))``.
     The table for a column group is sized by the paper's rule — a power
     of two greater than the summed input nnz of the group.
+    ``index_dtype`` sizes the gathered id buffers (probing itself runs
+    on int64 composite keys either way).
     """
     check_nonempty(mats)
     m, n = check_same_shape(mats)
@@ -83,18 +86,19 @@ def hash_symbolic(
     st.k = len(mats)
     st.n_cols = n
     value_dtype = eng.result_value_dtype(mats)
+    idx_dtype = eng.result_index_dtype(mats, index_dtype)
     bc = block_cols or choose_block_cols(mats)
     scratch = BlockScratch()
     out = np.zeros(n, dtype=np.int64)
     col_in = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
         cols, rows, vals, in_nnz = gather_block(
-            mats, j0, j1, scratch, value_dtype
+            mats, j0, j1, scratch, value_dtype, idx_dtype
         )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
-        keys = composite_keys(cols, rows, m)
+        keys = composite_keys(cols, rows, m, width=j1 - j0)
         tsize = table_size_for(rows.size)
         if eng.provides_stats or trace_sink is not None:
             res = eng.accumulate(
@@ -133,6 +137,7 @@ def _spkadd_fast_fused(
     block_cols: Optional[int],
     st: KernelStats,
     stats_symbolic: Optional[KernelStats],
+    index_dtype=None,
 ) -> CSCMatrix:
     """Single-pass sort/reduce SpKAdd (fast backend, no symbolic phase).
 
@@ -143,11 +148,12 @@ def _spkadd_fast_fused(
     facade callers see a populated two-phase result.  Output columns are
     sorted even under ``sorted_output=False`` (sortedness is free here).
     """
-    from repro.kernels import resolve_value_dtype, sort_reduce
+    from repro.kernels import resolve_index_dtype, resolve_value_dtype, sort_reduce
 
     shape = check_same_shape(mats)
     m, n = shape
     value_dtype = resolve_value_dtype(mats)
+    idx_dtype = resolve_index_dtype(mats, index_dtype)
     bc = block_cols or choose_block_cols(mats)
     scratch = BlockScratch()
     blocks = []
@@ -155,12 +161,12 @@ def _spkadd_fast_fused(
     col_out = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
         cols, rows, vals, in_nnz = gather_block(
-            mats, j0, j1, scratch, value_dtype
+            mats, j0, j1, scratch, value_dtype, idx_dtype
         )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
-        keys = composite_keys(cols, rows, m)
+        keys = composite_keys(cols, rows, m, width=j1 - j0)
         okeys, ovals = sort_reduce(keys, vals)
         ocols, orows = split_keys(okeys, m)
         col_out[j0:j1] = np.bincount(ocols, minlength=j1 - j0)
@@ -186,7 +192,8 @@ def _spkadd_fast_fused(
     # sort_reduce emits key-sorted (column-major, row-ascending) output,
     # so the matrix is sorted whether or not the caller asked for it.
     return assemble_from_block_outputs(
-        shape, blocks, sorted=True, value_dtype=value_dtype
+        shape, blocks, sorted=True,
+        value_dtype=value_dtype, index_dtype=idx_dtype,
     )
 
 
@@ -200,6 +207,7 @@ def spkadd_hash(
     stats_symbolic: Optional[KernelStats] = None,
     trace_sink: Optional[List[TraceItem]] = None,
     backend: Optional[str] = None,
+    index_dtype=None,
 ) -> CSCMatrix:
     """Algorithm 5: add k sparse matrices with a (row, value) hash table.
 
@@ -218,6 +226,12 @@ def spkadd_hash(
         consults ``REPRO_BACKEND`` and defaults to ``"instrumented"``.
         The ``"fast"`` backend additionally fuses away the symbolic
         phase when neither ``col_out_nnz`` nor ``trace_sink`` is given.
+    index_dtype:
+        Width of the emitted ``indices``/``indptr`` (and of the gather
+        buffers).  ``None`` resolves the paper's rule — int32 whenever
+        the dimensions and the summed input nnz fit — via
+        :meth:`~repro.kernels.Backend.result_index_dtype`; an explicit
+        int32 that cannot hold the call transparently promotes.
     """
     check_nonempty(mats)
     shape = check_same_shape(mats)
@@ -233,25 +247,28 @@ def spkadd_hash(
             block_cols=block_cols,
             st=st,
             stats_symbolic=stats_symbolic,
+            index_dtype=index_dtype,
         )
     if col_out_nnz is None:
         col_out_nnz = hash_symbolic(
             mats, block_cols=block_cols, stats=stats_symbolic,
             trace_sink=trace_sink, backend=eng.name,
+            index_dtype=index_dtype,
         )
     value_dtype = eng.result_value_dtype(mats)
+    idx_dtype = eng.result_index_dtype(mats, index_dtype)
     bc = block_cols or choose_block_cols(mats)
     scratch = BlockScratch()
     blocks = []
     col_in = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
         cols, rows, vals, in_nnz = gather_block(
-            mats, j0, j1, scratch, value_dtype
+            mats, j0, j1, scratch, value_dtype, idx_dtype
         )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
-        keys = composite_keys(cols, rows, m)
+        keys = composite_keys(cols, rows, m, width=j1 - j0)
         onz_block = int(col_out_nnz[j0:j1].sum())
         tsize = table_size_for(onz_block)
         res = eng.accumulate(
@@ -287,5 +304,5 @@ def spkadd_hash(
     # asked for (sortedness is free in sort/reduce).
     return assemble_from_block_outputs(
         shape, blocks, sorted=sorted_output or not eng.provides_stats,
-        value_dtype=value_dtype,
+        value_dtype=value_dtype, index_dtype=idx_dtype,
     )

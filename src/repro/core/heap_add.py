@@ -97,10 +97,11 @@ def _heap_merge(
     st: KernelStats,
 ) -> CSCMatrix:
     # Deferred: the kernels package imports core modules.
-    from repro.kernels import sort_reduce
+    from repro.kernels import resolve_index_dtype, sort_reduce
 
     m, n = shape
     value_dtype = resolve_value_dtype(mats)
+    index_dtype = resolve_index_dtype(mats)
     bc = block_cols or choose_block_cols(mats)
     k = len(mats)
     blocks = []
@@ -108,12 +109,12 @@ def _heap_merge(
     col_in = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
         cols, rows, vals, in_nnz = gather_block(
-            mats, j0, j1, value_dtype=value_dtype
+            mats, j0, j1, value_dtype=value_dtype, index_dtype=index_dtype
         )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
             continue
-        keys = composite_keys(cols, rows, m)
+        keys = composite_keys(cols, rows, m, width=j1 - j0)
         # sort_reduce sums each key's duplicates strictly left to right
         # (the heapq impl's extraction order), so the two
         # implementations agree to the last bit in every dtype —
@@ -127,15 +128,19 @@ def _heap_merge(
     st.col_out_nnz = col_out
     st.col_ops = col_in * _heap_cost_per_entry(k)
     return assemble_from_block_outputs(
-        shape, blocks, sorted=True, value_dtype=value_dtype
+        shape, blocks, sorted=True,
+        value_dtype=value_dtype, index_dtype=index_dtype,
     )
 
 
 def _heap_loop(mats: Sequence[CSCMatrix], shape, st: KernelStats) -> CSCMatrix:
     """Literal Algorithm 3: a (row, matrix_id) min-heap per column."""
+    from repro.kernels import resolve_index_dtype
+
     m, n = shape
     k = len(mats)
     value_dtype = resolve_value_dtype(mats)
+    index_dtype = resolve_index_dtype(mats)
     # Accumulate in numpy scalars of the resolved dtype: stepwise
     # float32 rounding (and integer wrapping) then matches the
     # vectorized merge implementation bit for bit — Python's binary64
@@ -174,7 +179,7 @@ def _heap_loop(mats: Sequence[CSCMatrix], shape, st: KernelStats) -> CSCMatrix:
                 cursor[i] += 1
         col_out[j] = len(out_rows)
         columns.append((
-            np.asarray(out_rows, dtype=np.int64),
+            np.asarray(out_rows, dtype=index_dtype),
             np.asarray(out_vals, dtype=value_dtype),
         ))
         _charge(st, k, int(col_in[j]), len(out_rows))
@@ -182,5 +187,6 @@ def _heap_loop(mats: Sequence[CSCMatrix], shape, st: KernelStats) -> CSCMatrix:
     st.col_out_nnz = col_out
     st.col_ops = col_in * _heap_cost_per_entry(k)
     return CSCMatrix.from_columns(
-        shape, columns, sorted=True, value_dtype=value_dtype
+        shape, columns, sorted=True,
+        value_dtype=value_dtype, index_dtype=index_dtype,
     )

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.merge2 import merge_sorted_keyed
 from repro.core.stats import KernelStats
-from repro.formats.compressed import build_indptr
+from repro.formats.compressed import build_indptr, resolve_index_dtype
 from repro.formats.csc import CSCMatrix
 from repro.util.checks import check_nonempty, check_same_shape
 
@@ -40,14 +40,18 @@ def _matrix_keys(A: CSCMatrix) -> np.ndarray:
     return cols * np.int64(m) + A.indices
 
 
-def _matrix_from_keys(shape, keys: np.ndarray, vals: np.ndarray) -> CSCMatrix:
+def _matrix_from_keys(
+    shape, keys: np.ndarray, vals: np.ndarray, index_dtype=None
+) -> CSCMatrix:
     m, n = shape
     cols = keys // np.int64(m)
     rows = keys - cols * np.int64(m)
+    if index_dtype is None:
+        index_dtype = resolve_index_dtype(shape=shape, nnz=keys.size)
     return CSCMatrix(
         shape,
-        build_indptr(cols, n),
-        rows,
+        build_indptr(cols, n, index_dtype=index_dtype),
+        rows.astype(index_dtype, copy=False),
         vals,
         sorted=True,
         check=False,
@@ -58,11 +62,15 @@ def add_pair(
     A: CSCMatrix,
     B: CSCMatrix,
     stats: Optional[KernelStats] = None,
+    *,
+    index_dtype=None,
 ) -> CSCMatrix:
     """Add two CSC matrices with sorted columns (one 2-way merge).
 
     This is the building block the paper would obtain from MKL, Matlab,
-    or GraphBLAS; ours is a vectorized linear merge.
+    or GraphBLAS; ours is a vectorized linear merge.  ``index_dtype``
+    pins the output index width; ``None`` resolves the paper's rule
+    over the two operands (int32 when dimensions and summed nnz fit).
     """
     if A.shape != B.shape:
         raise ValueError(f"shape mismatch {A.shape} vs {B.shape}")
@@ -70,7 +78,9 @@ def add_pair(
         raise ValueError("2-way addition requires sorted columns")
     ka, kb = _matrix_keys(A), _matrix_keys(B)
     keys, vals = merge_sorted_keyed(ka, A.data, kb, B.data)
-    out = _matrix_from_keys(A.shape, keys, vals)
+    out = _matrix_from_keys(
+        A.shape, keys, vals, resolve_index_dtype((A, B), index_dtype)
+    )
     if stats is not None:
         touched = A.nnz + B.nnz
         stats.ops += touched
@@ -79,7 +89,12 @@ def add_pair(
     return out
 
 
-def _prepare(mats: Sequence[CSCMatrix], presort: bool, stats: KernelStats) -> List[CSCMatrix]:
+def _prepare(
+    mats: Sequence[CSCMatrix],
+    presort: bool,
+    stats: KernelStats,
+    index_dtype=None,
+) -> List[CSCMatrix]:
     from repro.core.hashtable import resolve_value_dtype
 
     check_nonempty(mats)
@@ -87,7 +102,8 @@ def _prepare(mats: Sequence[CSCMatrix], presort: bool, stats: KernelStats) -> Li
     # Cast to the resolved accumulator dtype up front (a no-op for the
     # common all-float64 case): the merges would widen pair by pair
     # anyway, and the add-free k=1 path must emit the same dtype every
-    # other method (and the shm executor's scratch) resolves to.
+    # other method (and the shm executor's scratch) resolves to.  The
+    # same applies to the index width when the caller resolved one.
     vdt = resolve_value_dtype(mats)
     out = []
     for A in mats:
@@ -99,7 +115,10 @@ def _prepare(mats: Sequence[CSCMatrix], presort: bool, stats: KernelStats) -> Li
             A = A.copy()
             A.sort_indices()
             stats.ops += A.nnz * max(int(np.log2(max(A.nnz, 2))), 1)
-        out.append(A.astype(vdt))
+        A = A.astype(vdt)
+        if index_dtype is not None:
+            A = A.with_index_dtype(index_dtype)
+        out.append(A)
     return out
 
 
@@ -116,7 +135,11 @@ def spkadd_2way_incremental(
     """
     st = stats if stats is not None else KernelStats()
     st.algorithm = st.algorithm or "2way_incremental"
-    mats = _prepare(mats, presort, st)
+    # Call-level index width: every fold (and the k=1 add-free path)
+    # emits the width resolved over the whole collection, matching the
+    # parallel executors' concatenation.
+    idt = resolve_index_dtype(mats)
+    mats = _prepare(mats, presort, st, idt)
     st.k = len(mats)
     st.n_cols = mats[0].shape[1]
     st.col_in_nnz = sum((m.col_nnz() for m in mats[1:]), mats[0].col_nnz().copy())
@@ -125,7 +148,7 @@ def spkadd_2way_incremental(
     st.bytes_read += acc.nnz * ENTRY_BYTES
     for A in mats[1:]:
         st.input_nnz += acc.nnz + A.nnz  # the partial sum is re-read
-        acc = add_pair(acc, A, st)
+        acc = add_pair(acc, A, st, index_dtype=idt)
         st.intermediate_nnz += acc.nnz
     st.intermediate_nnz -= acc.nnz  # final write is the output, not an intermediate
     st.output_nnz = acc.nnz
@@ -146,7 +169,8 @@ def spkadd_2way_tree(
     """
     st = stats if stats is not None else KernelStats()
     st.algorithm = st.algorithm or "2way_tree"
-    level = _prepare(mats, presort, st)
+    idt = resolve_index_dtype(mats)
+    level = _prepare(mats, presort, st, idt)
     st.k = len(level)
     st.n_cols = level[0].shape[1]
     st.col_in_nnz = sum((m.col_nnz() for m in level[1:]), level[0].col_nnz().copy())
@@ -154,7 +178,7 @@ def spkadd_2way_tree(
     while len(level) > 1:
         nxt: List[CSCMatrix] = []
         for i in range(0, len(level) - 1, 2):
-            s = add_pair(level[i], level[i + 1], st)
+            s = add_pair(level[i], level[i + 1], st, index_dtype=idt)
             st.intermediate_nnz += s.nnz
             nxt.append(s)
         if len(level) % 2:

@@ -43,6 +43,21 @@ def _to_scipy_list(mats: Sequence[CSCMatrix]) -> List[sp.csc_matrix]:
     return [to_scipy(m).tocsc().astype(vdt, copy=False) for m in mats]
 
 
+def _from_scipy_resolved(acc, mats) -> CSCMatrix:
+    """Back-convert a scipy sum, index-cast through the pipeline's
+    resolved width.
+
+    scipy picks its own index dtype per operation (int32 when its
+    operands were, int64 otherwise), which need not match what every
+    other method — and the parallel executors' concatenation — resolves
+    for the call; the cast keeps the baseline bit-identical across
+    serial and all executors.
+    """
+    from repro.formats.compressed import resolve_index_dtype
+
+    return from_scipy(acc, "csc").with_index_dtype(resolve_index_dtype(mats))
+
+
 def _record_pair(st: KernelStats, a_nnz: int, b_nnz: int, out_nnz: int) -> None:
     st.ops += a_nnz + b_nnz
     st.bytes_read += (a_nnz + b_nnz) * ENTRY_BYTES
@@ -70,7 +85,7 @@ def spkadd_scipy_incremental(
         acc = out
     st.intermediate_nnz -= acc.nnz
     st.output_nnz = acc.nnz
-    return from_scipy(acc, "csc")
+    return _from_scipy_resolved(acc, mats)
 
 
 def spkadd_scipy_tree(
@@ -96,4 +111,4 @@ def spkadd_scipy_tree(
         level = nxt
     st.intermediate_nnz -= level[0].nnz
     st.output_nnz = level[0].nnz
-    return from_scipy(level[0], "csc")
+    return _from_scipy_resolved(level[0], mats)

@@ -76,6 +76,7 @@ def _run_partitioned(
     sorted_output: bool,
     trace_sink: Optional[List[TraceItem]],
     backend: Optional[str] = None,
+    index_dtype=None,
 ):
     """Shared engine for Algorithms 7 and 8.
 
@@ -91,6 +92,7 @@ def _run_partitioned(
     eng = resolve_backend(backend, need_trace=trace_sink is not None)
     m, n = check_same_shape(mats)
     value_dtype = eng.result_value_dtype(mats)
+    idx_dtype = eng.result_index_dtype(mats, index_dtype)
     entry_bytes = SYMBOLIC_ENTRY_BYTES if phase == "symbolic" else ADD_ENTRY_BYTES
     bc = block_cols or choose_block_cols(mats)
     scratch = BlockScratch()
@@ -100,7 +102,7 @@ def _run_partitioned(
     max_parts = 1
     for j0, j1 in iter_col_blocks(n, bc):
         cols, rows, vals, in_nnz = gather_block(
-            mats, j0, j1, scratch, value_dtype
+            mats, j0, j1, scratch, value_dtype, idx_dtype
         )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
@@ -130,7 +132,7 @@ def _run_partitioned(
         out_v: List[np.ndarray] = []
         order_p = np.argsort(part_id, kind="stable")
         offsets = np.concatenate([[0], np.cumsum(part_counts)])
-        keys_all = composite_keys(cols, rows, m)[order_p]
+        keys_all = composite_keys(cols, rows, m, width=j1 - j0)[order_p]
         vals_all = vals[order_p]
         width = j1 - j0
         for p in range(parts):
@@ -190,7 +192,8 @@ def _run_partitioned(
         return counts
     st.col_out_nnz = np.asarray(col_out_nnz, dtype=np.int64).copy()
     return assemble_from_block_outputs(
-        (m, n), blocks, sorted=sorted_output, value_dtype=value_dtype
+        (m, n), blocks, sorted=sorted_output,
+        value_dtype=value_dtype, index_dtype=idx_dtype,
     )
 
 
@@ -204,6 +207,7 @@ def sliding_hash_symbolic(
     stats: Optional[KernelStats] = None,
     trace_sink: Optional[List[TraceItem]] = None,
     backend: Optional[str] = None,
+    index_dtype=None,
 ) -> np.ndarray:
     """Algorithm 7: symbolic phase with cache-bounded sliding tables.
 
@@ -227,6 +231,7 @@ def sliding_hash_symbolic(
         sorted_output=True,
         trace_sink=trace_sink,
         backend=backend,
+        index_dtype=index_dtype,
     )
 
 
@@ -243,6 +248,7 @@ def spkadd_sliding_hash(
     stats_symbolic: Optional[KernelStats] = None,
     trace_sink: Optional[List[TraceItem]] = None,
     backend: Optional[str] = None,
+    index_dtype=None,
 ) -> CSCMatrix:
     """Algorithm 8: SpKAdd with cache-bounded sliding hash tables.
 
@@ -252,7 +258,8 @@ def spkadd_sliding_hash(
     compression factor is large (its tables are cf x bigger).
 
     ``backend`` selects the accumulation engine (:mod:`repro.kernels`);
-    both phases run on the same backend.
+    both phases run on the same backend.  ``index_dtype`` pins the
+    emitted index width (default: the paper's int32-when-it-fits rule).
     """
     check_nonempty(mats)
     if col_out_nnz is None:
@@ -265,6 +272,7 @@ def spkadd_sliding_hash(
             stats=stats_symbolic,
             trace_sink=trace_sink,
             backend=backend,
+            index_dtype=index_dtype,
         )
     st = stats if stats is not None else KernelStats()
     st.algorithm = st.algorithm or "sliding_hash"
@@ -282,4 +290,5 @@ def spkadd_sliding_hash(
         sorted_output=sorted_output,
         trace_sink=trace_sink,
         backend=backend,
+        index_dtype=index_dtype,
     )

@@ -36,6 +36,7 @@ from repro.core.blocks import (
 from repro.core.hashtable import resolve_value_dtype
 from repro.core.pairwise import ENTRY_BYTES
 from repro.core.stats import KernelStats
+from repro.formats.compressed import resolve_index_dtype
 from repro.formats.csc import CSCMatrix
 from repro.parallel.partition import row_partition_bounds
 from repro.util.checks import check_nonempty, check_same_shape
@@ -88,13 +89,14 @@ def spkadd_spa(
     st.n_cols = n
     st.ds_bytes_peak = max(st.ds_bytes_peak, m * SPA_SLOT_BYTES)
     value_dtype = resolve_value_dtype(mats)
+    index_dtype = resolve_index_dtype(mats)
     bc = block_cols or choose_block_cols(mats)
     blocks = []
     col_in = np.zeros(n, dtype=np.int64)
     col_out = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
         cols, rows, vals, in_nnz = gather_block(
-            mats, j0, j1, value_dtype=value_dtype
+            mats, j0, j1, value_dtype=value_dtype, index_dtype=index_dtype
         )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
@@ -132,7 +134,8 @@ def spkadd_spa(
     st.col_out_nnz = col_out
     st.col_ops = col_in + col_out
     return assemble_from_block_outputs(
-        shape, blocks, sorted=True, value_dtype=value_dtype
+        shape, blocks, sorted=True,
+        value_dtype=value_dtype, index_dtype=index_dtype,
     )
 
 
@@ -165,13 +168,14 @@ def spkadd_sliding_spa(
     part_m = int(np.max(np.diff(bounds_rows)))
     st.ds_bytes_peak = max(st.ds_bytes_peak, part_m * SPA_SLOT_BYTES)
     value_dtype = resolve_value_dtype(mats)
+    index_dtype = resolve_index_dtype(mats)
     bc = block_cols or choose_block_cols(mats)
     blocks = []
     col_in = np.zeros(n, dtype=np.int64)
     col_out = np.zeros(n, dtype=np.int64)
     for j0, j1 in iter_col_blocks(n, bc):
         cols, rows, vals, in_nnz = gather_block(
-            mats, j0, j1, value_dtype=value_dtype
+            mats, j0, j1, value_dtype=value_dtype, index_dtype=index_dtype
         )
         col_in[j0:j1] = in_nnz
         if rows.size == 0:
@@ -219,5 +223,6 @@ def spkadd_sliding_spa(
     st.col_out_nnz = col_out
     st.col_ops = col_in + col_out
     return assemble_from_block_outputs(
-        shape, blocks, sorted=True, value_dtype=value_dtype
+        shape, blocks, sorted=True,
+        value_dtype=value_dtype, index_dtype=index_dtype,
     )

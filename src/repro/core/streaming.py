@@ -79,6 +79,20 @@ def _resolve_cast(value_dtype):
     return lambda A: A.astype(vdt)
 
 
+def _index_width(acc: CSCMatrix, index_dtype) -> "CSCMatrix":
+    """``acc`` at the stream's requested index width.
+
+    The folds emit whatever width each batch resolves; an explicit
+    ``index_dtype`` pins the *returned* sum's width through the guarded
+    resolution (an int32 request a huge running sum cannot honour
+    promotes instead of wrapping)."""
+    if index_dtype is None:
+        return acc
+    from repro.formats.compressed import resolve_index_dtype
+
+    return acc.with_index_dtype(resolve_index_dtype((acc,), index_dtype))
+
+
 def _fold_batch(batch, kern, stats) -> CSCMatrix:
     """Reduce one batch with the kernel; a single-matrix batch is
     add-free but must still land on the resolved accumulator dtype
@@ -98,6 +112,7 @@ def spkadd_streaming(
     kernel: Optional[Callable[..., CSCMatrix]] = None,
     backend: Optional[str] = None,
     value_dtype=None,
+    index_dtype=None,
     stats: Optional[KernelStats] = None,
 ) -> CSCMatrix:
     """Sum a (possibly unbounded-length) stream of sparse matrices.
@@ -111,7 +126,9 @@ def spkadd_streaming(
     ``value_dtype`` mirrors :func:`repro.spkadd`'s override: each
     incoming matrix is cast as it is consumed so the running sum is
     computed (and returned) in that dtype.  The default preserves the
-    stream's dtypes end to end.
+    stream's dtypes end to end.  ``index_dtype`` pins the returned
+    sum's index width the same way (default: each fold resolves the
+    paper's int32-when-it-fits rule over its own inputs).
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
@@ -134,7 +151,7 @@ def spkadd_streaming(
         raise ValueError("spkadd_streaming needs at least one matrix")
     st.n_cols = acc.shape[1]
     st.output_nnz = acc.nnz
-    return acc
+    return _index_width(acc, index_dtype)
 
 
 class StreamingAccumulator:
@@ -151,13 +168,14 @@ class StreamingAccumulator:
 
     def __init__(
         self, *, batch_size: int = 16, kernel=None,
-        backend: Optional[str] = None, value_dtype=None,
+        backend: Optional[str] = None, value_dtype=None, index_dtype=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = batch_size
         self._kernel = _resolve_kernel(kernel, backend)
         self._cast = _resolve_cast(value_dtype)
+        self._index_dtype = index_dtype
         self._buffer: List[CSCMatrix] = []
         self._acc: Optional[CSCMatrix] = None
         self.stats = KernelStats(algorithm=f"streaming_acc[b={batch_size}]")
@@ -189,4 +207,4 @@ class StreamingAccumulator:
         self._flush()
         if self._acc is None:
             raise ValueError("no matrices pushed")
-        return self._acc
+        return _index_width(self._acc, self._index_dtype)

@@ -40,7 +40,7 @@ def exact_output_col_nnz(
         cols, rows, _vals, _ = gather_block(mats, j0, j1)
         if rows.size == 0:
             continue
-        keys = np.unique(composite_keys(cols, rows, m))
+        keys = np.unique(composite_keys(cols, rows, m, width=j1 - j0))
         out[j0:j1] = np.bincount(keys // np.int64(m), minlength=j1 - j0)
     return out
 
@@ -48,6 +48,8 @@ def exact_output_col_nnz(
 def chunk_output_layout(
     col_nnz: np.ndarray,
     ranges: Sequence[Tuple[int, int]],
+    *,
+    index_dtype=None,
 ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
     """Exact output CSC layout from per-column symbolic counts.
 
@@ -59,11 +61,24 @@ def chunk_output_layout(
     ``indices``/``data`` arrays.  This is what lets the shared-memory
     executor preallocate one output buffer and have every worker scatter
     into a private, disjoint slice with no synchronization.
+
+    ``index_dtype`` sets the pointer width (``None`` = int64).  The
+    cumulative sums are always formed in int64 first and the requested
+    width is widened when the total overflows it, so an int32 request
+    against a >2**31-entry output promotes instead of wrapping — the
+    shared-memory engine's symbolic sizing relies on this guard.
     """
+    from repro.formats.compressed import min_index_dtype
+
     col_nnz = np.asarray(col_nnz, dtype=np.int64)
     n = col_nnz.shape[0]
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(col_nnz, out=indptr[1:])
+    total = np.cumsum(col_nnz, dtype=np.int64)
+    dtype = np.promote_types(
+        np.dtype(index_dtype) if index_dtype is not None else np.int64,
+        min_index_dtype(int(total[-1]) if n else 0),
+    )
+    indptr = np.zeros(n + 1, dtype=dtype)
+    indptr[1:] = total
     offsets = []
     for j0, j1 in ranges:
         if not (0 <= j0 <= j1 <= n):

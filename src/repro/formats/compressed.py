@@ -8,16 +8,124 @@ concrete classes supply axis naming.
 
 from __future__ import annotations
 
+import os
 from typing import Tuple
 
 import numpy as np
 
+#: fallback index dtype when the caller supplies no index arrays to
+#: infer from (Python lists land here via ``np.asarray``).  Constructors
+#: that receive integer index arrays preserve the caller's dtype — an
+#: int32-indexed matrix stays int32-indexed end to end.
 DEFAULT_INDEX_DTYPE = np.int64
 
 #: fallback value dtype for empty/zero constructions only.  Constructors
 #: that receive values (``from_arrays``, ``from_columns``, the scipy
 #: converters) preserve the caller's dtype rather than coercing to this.
 DEFAULT_VALUE_DTYPE = np.float64
+
+#: environment variable pinning the default index width resolved by
+#: :func:`resolve_index_dtype` (``int32`` or ``int64``; the safe-widening
+#: guard still promotes a pinned int32 that cannot hold the call).
+INDEX_DTYPE_ENV_VAR = "REPRO_INDEX_DTYPE"
+
+#: largest value an int32 index / pointer entry may hold.  A module
+#: attribute (not an inlined constant) so the overflow-boundary tests
+#: can lower it and drive real promotions through every executor
+#: without materializing 2**31 entries.
+INT32_INDEX_CAPACITY = int(np.iinfo(np.int32).max)
+
+#: index widths the pipeline allocates in, narrowest first.  The paper
+#: stores 32-bit row indices (Section III-B); int64 is the safe fallback
+#: for matrices or outputs that outgrow them.
+SUPPORTED_INDEX_DTYPES = (np.dtype(np.int32), np.dtype(np.int64))
+
+
+def min_index_dtype(*bounds: int) -> np.dtype:
+    """Narrowest supported index dtype holding every value in ``bounds``.
+
+    >>> min_index_dtype(100).str.lstrip('<')
+    'i4'
+    """
+    hi = max((int(b) for b in bounds), default=0)
+    if hi <= INT32_INDEX_CAPACITY:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+def coerce_index_array(arr, index_dtype=None) -> np.ndarray:
+    """``arr`` as a signed-integer index array.
+
+    ``index_dtype=None`` is the preservation contract: a signed-integer
+    input keeps its dtype (int32 triplets build int32-indexed matrices)
+    while anything else — Python lists, unsigned or float arrays —
+    normalizes to :data:`DEFAULT_INDEX_DTYPE`.  An explicit dtype casts.
+    """
+    arr = np.asarray(arr)
+    if index_dtype is not None:
+        return arr.astype(index_dtype, copy=False)
+    if arr.dtype.kind != "i":
+        return arr.astype(DEFAULT_INDEX_DTYPE)
+    return arr
+
+
+def _index_bound(mats, shape, nnz) -> int:
+    """Largest value any index or pointer entry of a call over ``mats``
+    may take: matrix dimensions (minor indices) and summed nnz (pointer
+    entries, which bound the output nnz of SpKAdd)."""
+    bound = 0
+    total = 0
+    for A in mats:
+        bound = max(bound, int(A.shape[0]), int(A.shape[1]))
+        total += int(A.nnz)
+    if shape is not None:
+        bound = max(bound, int(shape[0]), int(shape[1]))
+    if nnz is not None:
+        total = max(total, int(nnz))
+    return max(bound, total)
+
+
+def resolve_index_dtype(mats=(), index_dtype=None, *, shape=None, nnz=None) -> np.dtype:
+    """The index dtype SpKAdd allocates — and emits — for ``mats``.
+
+    The default rule is the paper's: indices are 32-bit whenever the
+    matrix dimensions *and* the call's nnz bound (summed input nnz, an
+    upper bound on output nnz and on every output pointer entry) fit in
+    int32, and 64-bit otherwise.  ``index_dtype`` overrides the width
+    (``"int32"``/``"int64"``; narrower integer requests widen to the
+    narrowest supported width), and the ``REPRO_INDEX_DTYPE``
+    environment variable overrides the default when no explicit argument
+    is given.
+
+    The **safe-widening guard** applies to every path: a requested (or
+    pinned) int32 that cannot hold the call's bounds transparently
+    promotes to int64 instead of letting indices or ``indptr`` wrap.
+
+    ``mats`` holds matrices (anything with ``shape``/``nnz``); ``shape``
+    and ``nnz`` add bounds known out-of-band (e.g. a generator sizing
+    its triplet arrays before any matrix exists).  Every layer — format
+    constructors given no explicit width, kernel emit paths, the
+    executors' concatenation, and the shared-memory engine's
+    scratch/output segments — sizes its index buffers from this one
+    rule, which is what keeps the emitted index dtype identical across
+    methods, backends, executors, and chunkings.
+    """
+    if index_dtype is None or index_dtype == "auto":
+        index_dtype = os.environ.get(INDEX_DTYPE_ENV_VAR) or None
+        if index_dtype == "auto":
+            index_dtype = None
+    floor = np.dtype(np.int32)
+    if index_dtype is not None:
+        dt = np.dtype(index_dtype)
+        if dt.kind != "i":
+            raise TypeError(
+                f"index dtype must be a signed integer, got {dt}"
+            )
+        floor = max(
+            SUPPORTED_INDEX_DTYPES[0], min(dt, SUPPORTED_INDEX_DTYPES[-1])
+        )
+    # The guard: never hand back a width the call's bounds overflow.
+    return max(floor, min_index_dtype(_index_bound(mats, shape, nnz)))
 
 
 class CompressedBase:
@@ -86,6 +194,11 @@ class CompressedBase:
     def nbytes(self) -> int:
         """Bytes of the three backing arrays (the paper's I/O unit)."""
         return self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Dtype of the minor-index array (the stored index width)."""
+        return self.indices.dtype
 
     def validate(self) -> None:
         """Check the structural invariants of the format.
@@ -180,6 +293,40 @@ class CompressedBase:
             check=False,
         )
 
+    def with_index_dtype(self, index_dtype, *, copy: bool = False) -> "CompressedBase":
+        """This matrix with its index arrays cast to ``index_dtype``.
+
+        Returns ``self`` when both ``indptr`` and ``indices`` already
+        match (unless ``copy=True``); otherwise a new matrix sharing the
+        value array with the original.  Unlike ``ndarray.astype`` the
+        cast is checked: narrowing a matrix whose dimensions or nnz do
+        not fit the target raises instead of silently wrapping indices
+        (use :func:`resolve_index_dtype` for transparent promotion).
+        """
+        dt = np.dtype(index_dtype)
+        if dt.kind != "i":
+            raise TypeError(f"index dtype must be a signed integer, got {dt}")
+        if (
+            not copy
+            and dt == self.indices.dtype
+            and dt == self.indptr.dtype
+        ):
+            return self
+        limit = np.iinfo(dt).max
+        if max(self.n_minor - 1, self.nnz) > limit:
+            raise OverflowError(
+                f"matrix with n_minor={self.n_minor}, nnz={self.nnz} does "
+                f"not fit {dt} indices"
+            )
+        return type(self)(
+            self.shape,
+            self.indptr.astype(dt, copy=copy),
+            self.indices.astype(dt, copy=copy),
+            self.data,
+            sorted=self.sorted,
+            check=False,
+        )
+
     # ------------------------------------------------------------ mutation
     def sort_indices(self) -> None:
         """Sort every major slice by minor index, in place.
@@ -207,9 +354,20 @@ class CompressedBase:
         )
 
 
-def build_indptr(major_ids: np.ndarray, n_major: int) -> np.ndarray:
-    """Pointer array from (unsorted-count) major ids via bincount."""
+def build_indptr(
+    major_ids: np.ndarray, n_major: int, *, index_dtype=None
+) -> np.ndarray:
+    """Pointer array from (unsorted-count) major ids via bincount.
+
+    ``index_dtype`` sets the pointer width; ``None`` keeps the
+    historical int64.  A requested width too narrow for the entry count
+    is widened (pointer entries run up to nnz).
+    """
     counts = np.bincount(major_ids, minlength=n_major)
-    indptr = np.zeros(n_major + 1, dtype=np.int64)
+    dtype = np.promote_types(
+        np.dtype(index_dtype) if index_dtype is not None else np.int64,
+        min_index_dtype(int(major_ids.shape[0])),
+    )
+    indptr = np.zeros(n_major + 1, dtype=dtype)
     np.cumsum(counts, out=indptr[1:])
     return indptr

@@ -32,17 +32,17 @@ def coo_to_csr(coo: COOMatrix, *, sum_duplicates: bool = True) -> CSRMatrix:
 
 
 def csc_to_coo(csc: CSCMatrix) -> COOMatrix:
-    """CSC -> COO (no duplicates by construction)."""
+    """CSC -> COO (no duplicates by construction, index width kept)."""
     cols = np.repeat(
-        np.arange(csc.shape[1], dtype=np.int64), np.diff(csc.indptr)
+        np.arange(csc.shape[1], dtype=csc.index_dtype), np.diff(csc.indptr)
     )
     return COOMatrix(csc.shape, csc.indices.copy(), cols, csc.data.copy())
 
 
 def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
-    """CSR -> COO (no duplicates by construction)."""
+    """CSR -> COO (no duplicates by construction, index width kept)."""
     rows = np.repeat(
-        np.arange(csr.shape[0], dtype=np.int64), np.diff(csr.indptr)
+        np.arange(csr.shape[0], dtype=csr.index_dtype), np.diff(csr.indptr)
     )
     return COOMatrix(csr.shape, rows, csr.indices.copy(), csr.data.copy())
 
@@ -104,13 +104,14 @@ def from_scipy(mat: "sp.spmatrix", fmt: str = "csc"):
         s = sp.csc_matrix(mat)
         s.sort_indices()
         s.sum_duplicates()
-        # Indices widen to the repo-wide int64; values keep scipy's
-        # dtype — an int64 matrix round-trips exactly, with no float64
+        # Both index and value dtypes are preserved: scipy's int32
+        # indices stay int32 (no widening detour doubling index bytes)
+        # and an int64 value matrix round-trips exactly, with no float64
         # detour losing integers above 2**53.
         return CSCMatrix(
             s.shape,
-            s.indptr.astype(np.int64),
-            s.indices.astype(np.int64),
+            s.indptr.copy(),
+            s.indices.copy(),
             np.asarray(s.data).copy(),
             sorted=True,
         )
@@ -120,8 +121,8 @@ def from_scipy(mat: "sp.spmatrix", fmt: str = "csc"):
         s.sum_duplicates()
         return CSRMatrix(
             s.shape,
-            s.indptr.astype(np.int64),
-            s.indices.astype(np.int64),
+            s.indptr.copy(),
+            s.indices.copy(),
             np.asarray(s.data).copy(),
             sorted=True,
         )

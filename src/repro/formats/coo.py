@@ -14,7 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.formats.compressed import DEFAULT_INDEX_DTYPE
+from repro.formats.compressed import coerce_index_array
 
 
 @dataclass
@@ -33,10 +33,11 @@ class COOMatrix:
 
     def __init__(self, shape, rows, cols, vals) -> None:
         self.shape = (int(shape[0]), int(shape[1]))
-        self.rows = np.asarray(rows, dtype=DEFAULT_INDEX_DTYPE)
-        self.cols = np.asarray(cols, dtype=DEFAULT_INDEX_DTYPE)
-        # Indices normalize to int64; values keep the caller's dtype
-        # (sum_duplicates and to_dense follow it).
+        # Integer index arrays keep their dtype (int32 triplets stay
+        # int32); non-integer input normalizes to int64.  Values keep
+        # the caller's dtype (sum_duplicates and to_dense follow it).
+        self.rows = coerce_index_array(rows)
+        self.cols = coerce_index_array(cols)
         self.vals = np.asarray(vals)
         if not (self.rows.shape == self.cols.shape == self.vals.shape):
             raise ValueError("rows, cols, vals must be parallel 1-D arrays")

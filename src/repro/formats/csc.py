@@ -17,6 +17,8 @@ from repro.formats.compressed import (
     DEFAULT_VALUE_DTYPE,
     CompressedBase,
     build_indptr,
+    coerce_index_array,
+    min_index_dtype,
 )
 
 
@@ -40,7 +42,7 @@ class CSCMatrix(CompressedBase):
         vals: np.ndarray,
         *,
         sum_duplicates: bool = True,
-        index_dtype=DEFAULT_INDEX_DTYPE,
+        index_dtype=None,
         value_dtype=None,
     ) -> "CSCMatrix":
         """Build from COO-style triplet arrays.
@@ -54,10 +56,15 @@ class CSCMatrix(CompressedBase):
         semantics): a duplicate sum that overflows a narrow integer
         container wraps, so pass ``value_dtype=np.int64`` when int32
         triplets may collide past 2**31.
+
+        ``index_dtype=None`` likewise preserves: int32 ``rows`` build an
+        int32-indexed matrix with a matching-width ``indptr`` (widened
+        only if the entry count itself overflows it); Python lists and
+        non-integer arrays normalize to int64.
         """
         m, n = int(shape[0]), int(shape[1])
-        rows = np.asarray(rows, dtype=index_dtype)
-        cols = np.asarray(cols, dtype=index_dtype)
+        rows = coerce_index_array(rows, index_dtype)
+        cols = coerce_index_array(cols, index_dtype)
         vals = np.asarray(vals, dtype=value_dtype)
         if not (rows.shape == cols.shape == vals.shape):
             raise ValueError("rows, cols, vals must be parallel 1-D arrays")
@@ -76,7 +83,7 @@ class CSCMatrix(CompressedBase):
             # dtype pinned: reduceat would widen small ints to int64.
             vals = np.add.reduceat(vals, group, dtype=vals.dtype)
             rows, cols = rows[group], cols[group]
-        indptr = build_indptr(cols, n)
+        indptr = build_indptr(cols, n, index_dtype=rows.dtype)
         return cls(
             (m, n),
             indptr,
@@ -92,7 +99,7 @@ class CSCMatrix(CompressedBase):
         columns: Iterable[Tuple[np.ndarray, np.ndarray]],
         *,
         sorted: bool = True,
-        index_dtype=DEFAULT_INDEX_DTYPE,
+        index_dtype=None,
         value_dtype=None,
     ) -> "CSCMatrix":
         """Assemble from an iterable of per-column ``(rows, vals)`` pairs.
@@ -100,7 +107,8 @@ class CSCMatrix(CompressedBase):
         This is how the k-way kernels emit their output: one column at a
         time, already deduplicated.  ``value_dtype=None`` infers the
         common dtype of the column value arrays (float64 when every
-        column is empty).
+        column is empty); ``index_dtype=None`` does the same over the
+        row arrays (int64 when every column is empty).
         """
         m, n = int(shape[0]), int(shape[1])
         cols = list(columns)
@@ -109,8 +117,19 @@ class CSCMatrix(CompressedBase):
         if value_dtype is None:
             vd = [np.asarray(v).dtype for r, v in cols if len(r)]
             value_dtype = np.result_type(*vd) if vd else DEFAULT_VALUE_DTYPE
+        if index_dtype is None:
+            rd = [
+                np.asarray(r).dtype for r, _ in cols
+                if len(r) and np.asarray(r).dtype.kind == "i"
+            ]
+            index_dtype = np.result_type(*rd) if rd else DEFAULT_INDEX_DTYPE
         counts = np.fromiter((len(r) for r, _ in cols), dtype=np.int64, count=n)
-        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr = np.zeros(
+            n + 1,
+            dtype=np.promote_types(
+                index_dtype, min_index_dtype(int(counts.sum()))
+            ),
+        )
         np.cumsum(counts, out=indptr[1:])
         total = int(indptr[-1])
         indices = np.empty(total, dtype=index_dtype)
@@ -133,7 +152,7 @@ class CSCMatrix(CompressedBase):
         m, n = shape
         return cls(
             (m, n),
-            np.zeros(n + 1, dtype=np.int64),
+            np.zeros(n + 1, dtype=index_dtype),
             np.empty(0, dtype=index_dtype),
             np.empty(0, dtype=value_dtype),
             sorted=True,
@@ -240,7 +259,7 @@ class CSCMatrix(CompressedBase):
         m, n = self.shape
         if j_offset < 0 or j_offset + n > n_total:
             raise ValueError("embedded columns out of range")
-        indptr = np.zeros(n_total + 1, dtype=np.int64)
+        indptr = np.zeros(n_total + 1, dtype=self.indptr.dtype)
         indptr[j_offset + 1 : j_offset + n + 1] = self.indptr[1:]
         indptr[j_offset + n + 1 :] = self.indptr[-1]
         return CSCMatrix(
@@ -269,7 +288,7 @@ class CSCMatrix(CompressedBase):
         cols = np.repeat(np.arange(self.shape[1], dtype=np.int64), np.diff(self.indptr))
         return CSCMatrix(
             self.shape,
-            build_indptr(cols[keep], self.shape[1]),
+            build_indptr(cols[keep], self.shape[1], index_dtype=self.indptr.dtype),
             np.ascontiguousarray(self.indices[keep]),
             np.ascontiguousarray(self.data[keep]),
             sorted=self.sorted,

@@ -17,6 +17,7 @@ from repro.formats.compressed import (
     DEFAULT_VALUE_DTYPE,
     CompressedBase,
     build_indptr,
+    coerce_index_array,
 )
 
 
@@ -34,7 +35,7 @@ class CSRMatrix(CompressedBase):
         vals: np.ndarray,
         *,
         sum_duplicates: bool = True,
-        index_dtype=DEFAULT_INDEX_DTYPE,
+        index_dtype=None,
         value_dtype=None,
     ) -> "CSRMatrix":
         """Build from COO-style triplets (duplicates summed by default).
@@ -43,10 +44,12 @@ class CSRMatrix(CompressedBase):
         sums happen in the stored dtype (scipy semantics — narrow
         integer containers wrap on overflow, pass a wider
         ``value_dtype`` if triplets may collide past its range).
+        ``index_dtype=None`` preserves integer index dtypes the same way
+        (int32 triplets build an int32-indexed matrix).
         """
         m, n = int(shape[0]), int(shape[1])
-        rows = np.asarray(rows, dtype=index_dtype)
-        cols = np.asarray(cols, dtype=index_dtype)
+        rows = coerce_index_array(rows, index_dtype)
+        cols = coerce_index_array(cols, index_dtype)
         vals = np.asarray(vals, dtype=value_dtype)
         if not (rows.shape == cols.shape == vals.shape):
             raise ValueError("rows, cols, vals must be parallel 1-D arrays")
@@ -65,7 +68,7 @@ class CSRMatrix(CompressedBase):
             # dtype pinned: reduceat would widen small ints to int64.
             vals = np.add.reduceat(vals, group, dtype=vals.dtype)
             rows, cols = rows[group], cols[group]
-        indptr = build_indptr(rows, m)
+        indptr = build_indptr(rows, m, index_dtype=cols.dtype)
         return cls(
             (m, n),
             indptr,
@@ -75,13 +78,19 @@ class CSRMatrix(CompressedBase):
         )
 
     @classmethod
-    def zeros(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+    def zeros(
+        cls,
+        shape: Tuple[int, int],
+        *,
+        index_dtype=DEFAULT_INDEX_DTYPE,
+        value_dtype=DEFAULT_VALUE_DTYPE,
+    ) -> "CSRMatrix":
         m, n = shape
         return cls(
             (m, n),
-            np.zeros(m + 1, dtype=np.int64),
-            np.empty(0, dtype=DEFAULT_INDEX_DTYPE),
-            np.empty(0, dtype=DEFAULT_VALUE_DTYPE),
+            np.zeros(m + 1, dtype=index_dtype),
+            np.empty(0, dtype=index_dtype),
+            np.empty(0, dtype=value_dtype),
             sorted=True,
         )
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.formats.compressed import resolve_index_dtype
 from repro.formats.csc import CSCMatrix
 from repro.util.rng import default_rng
 
@@ -35,11 +36,14 @@ def erdos_renyi(
         raise ValueError("m and n must be positive")
     rng = default_rng(seed)
     total = int(round(n * d))
+    # Triplets (and therefore the stored matrix) carry the paper's
+    # index width: int32 unless the dimensions or nnz demand int64.
+    idt = resolve_index_dtype(shape=(m, n), nnz=total)
     if float(d).is_integer():
-        cols = np.repeat(np.arange(n, dtype=np.int64), int(d))
+        cols = np.repeat(np.arange(n, dtype=idt), int(d))
     else:
-        cols = rng.integers(0, n, total, dtype=np.int64)
-    rows = rng.integers(0, m, cols.shape[0], dtype=np.int64)
+        cols = rng.integers(0, n, total, dtype=idt)
+    rows = rng.integers(0, m, cols.shape[0], dtype=idt)
     if values == "uniform":
         vals = rng.random(cols.shape[0])
     elif values == "ones":

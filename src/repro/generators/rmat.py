@@ -116,7 +116,14 @@ def rmat(
         vals = np.ones(nnz)
     else:
         raise ValueError(f"unknown values mode {values!r}")
-    return CSCMatrix.from_arrays((m, n), rows, cols, vals, sum_duplicates=True)
+    # The bit-interleaving above works in int64; the stored matrix keeps
+    # the paper's width (int32 unless the dimensions/nnz demand int64).
+    from repro.formats.compressed import resolve_index_dtype
+
+    return CSCMatrix.from_arrays(
+        (m, n), rows, cols, vals, sum_duplicates=True,
+        index_dtype=resolve_index_dtype(shape=(m, n), nnz=nnz),
+    )
 
 
 def rmat_collection(

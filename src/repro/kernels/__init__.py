@@ -14,6 +14,7 @@ argument > ``REPRO_BACKEND`` env var > caller default).
 """
 
 from repro.core.hashtable import resolve_value_dtype
+from repro.formats.compressed import resolve_index_dtype
 from repro.kernels.base import Backend
 from repro.kernels.fast import FastBackend, sort_reduce
 from repro.kernels.instrumented import InstrumentedBackend
@@ -34,6 +35,7 @@ __all__ = [
     "get_backend",
     "register_backend",
     "resolve_backend",
+    "resolve_index_dtype",
     "resolve_value_dtype",
     "sort_reduce",
 ]

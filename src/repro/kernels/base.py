@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.hashtable import HashAccumResult, resolve_value_dtype
+from repro.formats.compressed import resolve_index_dtype
 
 
 class Backend:
@@ -76,6 +77,20 @@ class Backend:
         instead of assuming float64.
         """
         return resolve_value_dtype(mats, value_dtype)
+
+    def result_index_dtype(self, mats, index_dtype=None) -> np.dtype:
+        """Index dtype this engine allocates — and emits — for ``mats``.
+
+        The paper's width rule via
+        :func:`repro.formats.compressed.resolve_index_dtype`: int32
+        whenever the matrix dimensions and the call's nnz bound fit,
+        int64 otherwise; an explicit ``index_dtype`` (or the
+        ``REPRO_INDEX_DTYPE`` environment pin) overrides the width,
+        subject to the safe-widening guard.  Executors use this to size
+        output (and, for the shared-memory engine, scratch) index
+        buffers in the width the kernels will actually emit.
+        """
+        return resolve_index_dtype(mats, index_dtype)
 
     def symbolic_col_nnz(self, mats) -> np.ndarray:
         """Exact per-column output nnz of ``sum(mats)`` — the sizing

@@ -33,6 +33,7 @@ The *shape* of scaling behaviour at paper fidelity comes from
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Optional, Sequence, Tuple
@@ -55,6 +56,36 @@ EXECUTORS = ("thread", "process", "shm")
 #: executors whose workers run in separate processes; they all reject
 #: ``trace_sink`` (worker-side appends never reach the caller's list).
 MULTIPROCESS_EXECUTORS = frozenset({"process", "shm"})
+
+#: environment variable overriding the multiprocessing start method of
+#: both process-based executors (``fork`` / ``forkserver`` / ``spawn``).
+MP_START_ENV_VAR = "REPRO_MP_START"
+
+
+def mp_context():
+    """Multiprocessing context for the process-based executors.
+
+    Defaults to ``forkserver`` where available: a bare ``fork`` from a
+    process that also runs thread pools (exactly what a mixed
+    thread/process SpKAdd workload does) can fork while another thread
+    holds a lock, deadlocking the child — the rare CI hang observed in
+    PR 3.  The fork server is single-threaded, so its forks are safe;
+    workers still share pages with it (cheap startup), unlike ``spawn``.
+    ``REPRO_MP_START`` overrides (e.g. ``fork`` to recover the old
+    behaviour, ``spawn`` to mimic Windows/macOS).
+    """
+    name = os.environ.get(MP_START_ENV_VAR)
+    if not name:
+        methods = multiprocessing.get_all_start_methods()
+        name = "forkserver" if "forkserver" in methods else None
+    ctx = multiprocessing.get_context(name)
+    if name == "forkserver":
+        # Preload this module (transitively numpy + the repro core) in
+        # the fork server, so each worker forks from a warm interpreter
+        # instead of re-importing the stack — without this, a fresh
+        # per-call process pool pays ~1s of import per worker.
+        ctx.set_forkserver_preload(["repro.parallel.executor"])
+    return ctx
 
 
 def resolve_executor(name: Optional[str] = None) -> str:
@@ -80,30 +111,38 @@ def _total_col_nnz(mats: Sequence[CSCMatrix]) -> np.ndarray:
     return out
 
 
-def _concat_results(mats, parts):
+def _concat_results(mats, parts, index_dtype=None):
     """Stitch per-chunk result matrices (disjoint column ranges) back
-    into one CSC matrix."""
-    from repro.kernels import resolve_value_dtype
+    into one CSC matrix.
+
+    Chunk kernels resolve their index width from *chunk* bounds, so a
+    chunk may come back narrower than the call-level width; the
+    concatenation allocates at the width resolved over the full call
+    (plus the caller's override) so every executor emits one dtype.
+    """
+    from repro.kernels import resolve_index_dtype, resolve_value_dtype
 
     m = mats[0].shape[0]
     n = mats[0].shape[1]
-    indptr = np.zeros(n + 1, dtype=np.int64)
+    idt = resolve_index_dtype(mats, index_dtype)
+    indptr = np.zeros(n + 1, dtype=idt)
     chunks = sorted(parts, key=lambda p: p[0])
-    indices = []
     data = []
+    total = sum(sub.nnz for _, sub in chunks)
+    indices = np.empty(total, dtype=idt)
     offset = 0
     for j0, sub in chunks:
         w = sub.shape[1]
-        indptr[j0 + 1 : j0 + w + 1] = sub.indptr[1:] + offset
+        indptr[j0 + 1 : j0 + w + 1] = sub.indptr[1:].astype(np.int64) + offset
+        indices[offset : offset + sub.nnz] = sub.indices
         offset += sub.nnz
-        indices.append(sub.indices)
         data.append(sub.data)
     # forward-fill empty gaps (there are none when chunks cover [0, n))
     np.maximum.accumulate(indptr, out=indptr)
     return CSCMatrix(
         (m, n),
         indptr,
-        np.concatenate(indices) if indices else np.empty(0, dtype=np.int64),
+        indices,
         np.concatenate(data) if data
         else np.empty(0, dtype=resolve_value_dtype(mats)),
         sorted=all(s.sorted for _, s in chunks),
@@ -141,6 +180,7 @@ def parallel_spkadd(
     sorted_output: bool = True,
     chunks_per_thread: int = 4,
     executor: Optional[str] = None,
+    index_dtype=None,
     **kwargs,
 ):
     """Column-parallel SpKAdd (paper Section III-A).
@@ -150,7 +190,9 @@ def parallel_spkadd(
     executed on a thread, process, or shared-memory pool (``executor=``;
     ``None``/``"auto"`` consults ``REPRO_EXECUTOR`` then uses
     ``"thread"``).  Per-chunk stats are merged; the result is
-    bit-identical to the sequential method.
+    bit-identical to the sequential method.  ``index_dtype`` pins the
+    output index width (default: the call-level int32-when-it-fits
+    rule, identical to the serial kernels').
     """
     # Deferred: repro.core.api imports this module's caller chain.
     from repro.core.api import BACKEND_AWARE_METHODS, SpKAddResult, _REGISTRY
@@ -166,6 +208,11 @@ def parallel_spkadd(
         )
     if method not in BACKEND_AWARE_METHODS:
         kwargs.pop("backend", None)
+    elif index_dtype is not None:
+        # Hash-family chunk kernels accept the override directly; other
+        # methods' chunks self-resolve and the concatenation / shm
+        # output buffer enforces the call-level width.
+        kwargs.setdefault("index_dtype", index_dtype)
     if method == "sliding_hash" and "cache_bytes" in kwargs:
         # The sliding cache-budget rule needs the worker count.
         kwargs.setdefault("threads", threads)
@@ -183,11 +230,14 @@ def parallel_spkadd(
         out, stat_items = shm_parallel_run(
             mats, method, ranges,
             sorted_output=sorted_output, kwargs=kwargs, threads=threads,
+            index_dtype=index_dtype,
         )
     else:
         results = []
         if executor == "process":
-            with ProcessPoolExecutor(max_workers=threads) as pool:
+            with ProcessPoolExecutor(
+                max_workers=threads, mp_context=mp_context()
+            ) as pool:
                 futures = [
                     pool.submit(
                         _run_chunk,
@@ -242,7 +292,9 @@ def parallel_spkadd(
     merged.k = len(mats)
     merged.n_cols = n
     if out is None:
-        out = _concat_results(mats, [(j0, sub) for j0, sub, _, _ in results])
+        out = _concat_results(
+            mats, [(j0, sub) for j0, sub, _, _ in results], index_dtype
+        )
     return SpKAddResult(out, merged, merged_sym, method=method)
 
 

@@ -27,8 +27,9 @@ bit-identical across all executors and both kernel backends.
 
 Engine lifecycle (:class:`SharedMemoryPool`): the worker pool is created
 on first use and **reused across calls** — repeated ``spkadd`` calls pay
-the fork cost once, which is where most of the process executor's
-latency goes.  Workers key their cached attachments by a per-call
+the worker-startup cost once (a ``forkserver`` spawn by default — see
+:func:`repro.parallel.executor.mp_context` — which is exactly the cost
+the per-call process executor pays every time).  Workers key their cached attachments by a per-call
 session id and drop the previous session's mappings when a new one
 arrives, so steady-state worker memory is bounded by one call's
 segments.  A broken pool (crashed worker) is discarded and rebuilt on
@@ -307,16 +308,25 @@ def _compute_chunk(task) -> tuple:
             "structural-union invariant"
         )
     # Scratch dtypes match the kernel's by construction (the parent
-    # sizes them from the same ``resolve_value_dtype`` rule the kernels
-    # accumulate in), so any value dtype — float32, exact int64, ... —
-    # stages without conversion.  A widening cast is tolerated; a lossy
-    # one (a kernel emitting wider values than the parent resolved)
-    # would silently round every value, so it stays a hard error.
+    # sizes them from the same ``resolve_value_dtype`` /
+    # ``resolve_index_dtype`` rules the kernels emit in), so any value
+    # dtype — float32, exact int64, ... — stages without conversion.  A
+    # widening cast is tolerated: chunk kernels resolve their *chunk's*
+    # index bounds, which may come out one width below the call-level
+    # resolution staged here.  A lossy cast (a kernel emitting wider
+    # values or indices than the parent resolved) would silently
+    # round/wrap, so it stays a hard error.
     if not np.can_cast(sub.data.dtype, dat_buf.dtype, casting="safe"):
         raise RuntimeError(
             f"chunk [{j0}, {j1}) emitted {sub.data.dtype} values but the "
             f"shared scratch is {dat_buf.dtype}; the kernel disagrees "
             "with resolve_value_dtype — staging would lose precision"
+        )
+    if not np.can_cast(sub.indices.dtype, idx_buf.dtype, casting="safe"):
+        raise RuntimeError(
+            f"chunk [{j0}, {j1}) emitted {sub.indices.dtype} indices but "
+            f"the shared scratch is {idx_buf.dtype}; the kernel disagrees "
+            "with resolve_index_dtype — staging would wrap indices"
         )
     idx_buf[: sub.nnz] = sub.indices
     dat_buf[: sub.nnz] = sub.data
@@ -376,8 +386,17 @@ class SharedMemoryPool:
     def _get_pool(self, threads: int) -> ProcessPoolExecutor:
         if self._pool is None or self._workers != threads:
             self.shutdown()
+            ctx = self._mp_context
+            if ctx is None:
+                # Default to the fork-safe context (forkserver where
+                # available): this engine routinely coexists with
+                # thread pools in one process, where a bare fork can
+                # inherit a locked mutex and deadlock the worker.
+                from repro.parallel.executor import mp_context
+
+                ctx = mp_context()
             self._pool = ProcessPoolExecutor(
-                max_workers=threads, mp_context=self._mp_context
+                max_workers=threads, mp_context=ctx
             )
             self._workers = threads
         return self._pool
@@ -398,6 +417,7 @@ class SharedMemoryPool:
         sorted_output: bool,
         kwargs: dict,
         threads: int,
+        index_dtype=None,
     ):
         """Execute ``method`` over ``ranges`` on the shared-memory pool.
 
@@ -410,7 +430,7 @@ class SharedMemoryPool:
                 return self._run_locked(
                     mats, method, ranges,
                     sorted_output=sorted_output, kwargs=kwargs,
-                    threads=threads,
+                    threads=threads, index_dtype=index_dtype,
                 )
             except BrokenProcessPool:
                 # A dead worker poisons the whole pool; drop it so the
@@ -419,17 +439,20 @@ class SharedMemoryPool:
                 raise
 
     def _run_locked(
-        self, mats, method, ranges, *, sorted_output, kwargs, threads
+        self, mats, method, ranges, *, sorted_output, kwargs, threads,
+        index_dtype=None,
     ):
         from repro.core.symbolic import chunk_output_layout
-        from repro.kernels import resolve_value_dtype
+        from repro.kernels import resolve_index_dtype, resolve_value_dtype
 
         m, n = mats[0].shape
-        # The kernels accumulate (and emit) in the dtype this rule
-        # resolves over the k addends; scratch and output segments are
-        # sized from it, so float32 collections move half the bytes of
-        # float64 and int64 sums stage exactly.
+        # The kernels accumulate (and emit) in the dtypes these rules
+        # resolve over the k addends; scratch and output segments are
+        # sized from them, so float32 collections move half the value
+        # bytes of float64, int32-resolved calls move half the index
+        # bytes of int64, and int64 sums stage exactly.
         value_dtype = resolve_value_dtype(mats)
+        idx_dtype = resolve_index_dtype(mats, index_dtype)
         registry = SegmentRegistry()
         try:
             input_specs = registry.publish(
@@ -453,12 +476,12 @@ class SharedMemoryPool:
             }
             # Scratch staging slots, sized by each chunk's summed input
             # nnz — an exact upper bound on its output nnz — in the
-            # resolved value dtype.
+            # resolved index and value dtypes.
             scratch_specs = registry.allocate(
                 [
                     layout
                     for nnz_in in _chunk_input_nnz(mats, ranges)
-                    for layout in ((nnz_in, np.int64), (nnz_in, value_dtype))
+                    for layout in ((nnz_in, idx_dtype), (nnz_in, value_dtype))
                 ]
             )
             scratch = list(zip(scratch_specs[0::2], scratch_specs[1::2]))
@@ -476,10 +499,12 @@ class SharedMemoryPool:
                     col_nnz[j0 : j0 + counts.size] = counts
                     stat_items.append((j0, st, st_sym))
                     sorted_flags.append(sub_sorted)
-                indptr, offsets = chunk_output_layout(col_nnz, ranges)
+                indptr, offsets = chunk_output_layout(
+                    col_nnz, ranges, index_dtype=idx_dtype
+                )
                 total = int(indptr[-1])
                 out_indices, out_data = registry.allocate(
-                    [(total, np.int64), (total, value_dtype)]
+                    [(total, indptr.dtype), (total, value_dtype)]
                 )
                 scatter_tasks = [
                     (hi - lo, lo, s_idx, s_dat, out_indices, out_data)
@@ -525,9 +550,11 @@ def shm_parallel_run(
     sorted_output: bool,
     kwargs: dict,
     threads: int,
+    index_dtype=None,
 ):
     """Run on the module's default :class:`SharedMemoryPool` engine."""
     return _DEFAULT_ENGINE.run(
         mats, method, ranges,
         sorted_output=sorted_output, kwargs=kwargs, threads=threads,
+        index_dtype=index_dtype,
     )

@@ -8,6 +8,16 @@ import pytest
 from repro.formats.csc import CSCMatrix
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running reproduction tests"
+    )
+    config.addinivalue_line(
+        "markers",
+        "stress: multiprocess stress tests run under a hard timeout",
+    )
+
+
 def random_csc(
     rng: np.random.Generator,
     m: int,

@@ -58,9 +58,14 @@ def csc_matrix(draw, max_m=40, max_n=8, max_nnz=60):
 #: integer accumulators, float32 the narrow float path.
 VALUE_DTYPES = (np.float64, np.float32, np.int64, np.int32)
 
+#: index widths the index-pipeline fuzz stores inputs in; the emitted
+#: width is bounds-resolved, so any mix must produce one output width.
+INDEX_DTYPES = (np.int64, np.int32)
+
 
 @st.composite
-def matrix_collection(draw, max_k=6, dtype_axis=False):
+def matrix_collection(draw, max_k=6, dtype_axis=False, index_axis=False,
+                      int_values=False):
     m = draw(st.integers(2, 40))
     n = draw(st.integers(1, 6))
     k = draw(st.integers(1, max_k))
@@ -75,19 +80,32 @@ def matrix_collection(draw, max_k=6, dtype_axis=False):
             draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)),
             dtype=np.int64,
         )
-        vals = np.asarray(
-            draw(
-                st.lists(
-                    st.floats(-10, 10, allow_nan=False, width=32),
-                    min_size=nnz, max_size=nnz,
-                )
-            ),
-            dtype=np.float64,
-        )
+        if int_values:
+            # Integer values sum exactly, so oracle comparisons can be
+            # equality rather than tolerance.
+            vals = np.asarray(
+                draw(st.lists(st.integers(-20, 20), min_size=nnz,
+                              max_size=nnz)),
+                dtype=np.int64,
+            )
+        else:
+            vals = np.asarray(
+                draw(
+                    st.lists(
+                        st.floats(-10, 10, allow_nan=False, width=32),
+                        min_size=nnz, max_size=nnz,
+                    )
+                ),
+                dtype=np.float64,
+            )
         if dtype_axis:
             # Per-matrix dtype: mixed collections must promote the same
             # way on every backend and executor.
             vals = vals.astype(draw(st.sampled_from(VALUE_DTYPES)))
+        if index_axis:
+            idt = draw(st.sampled_from(INDEX_DTYPES))
+            rows = rows.astype(idt)
+            cols = cols.astype(idt)
         mats.append(CSCMatrix.from_arrays((m, n), rows, cols, vals))
     return mats
 
@@ -264,6 +282,62 @@ def test_shm_dtype_axis_bitwise_and_resolved(mats, threads):
             mats, method="hash", threads=threads, executor=executor
         ).matrix
         assert got.data.dtype == expect
+        assert_bitwise_equal(ref, got)
+
+
+@settings(**COMMON)
+@given(matrix_collection(max_k=4, index_axis=True, int_values=True),
+       st.randoms())
+def test_index_dtype_axis_resolved_and_exact(mats, rnd):
+    """Fuzz the index-dtype axis: inputs stored at random i32/i64
+    widths, sorted or unsorted.  The output's indices/indptr must carry
+    the call-resolved width and the sum must equal the scipy baseline
+    exactly (integer values — no tolerance)."""
+    from repro.kernels import resolve_index_dtype
+
+    if rnd.random() < 0.5:
+        # Shuffle entries within columns: the hash kernel tolerates
+        # unsorted inputs and the width contract must too.
+        shuffled = []
+        for A in mats:
+            indices = A.indices.copy()
+            data = A.data.copy()
+            for j in range(A.shape[1]):
+                lo, hi = int(A.indptr[j]), int(A.indptr[j + 1])
+                perm = rnd.sample(range(hi - lo), hi - lo)
+                indices[lo:hi] = indices[lo:hi][perm]
+                data[lo:hi] = data[lo:hi][perm]
+            shuffled.append(
+                CSCMatrix(A.shape, A.indptr.copy(), indices, data,
+                          sorted=False, check=False)
+            )
+        mats = shuffled
+    expect = resolve_index_dtype(mats)
+    got = spkadd(mats, method="hash").matrix
+    assert got.indices.dtype == expect
+    assert got.indptr.dtype == expect
+    # scipy prunes summed cancellations; compare densely (exact for
+    # integer values) instead of structurally.
+    scipy_dense = sum_with_scipy(mats).to_dense()
+    assert np.array_equal(got.to_dense(), scipy_dense)
+
+
+@settings(**SHM_COMMON)
+@given(matrix_collection(max_k=3, index_axis=True), st.integers(2, 4))
+def test_shm_index_axis_bitwise(mats, threads):
+    """Mixed-width inputs through every executor: one resolved output
+    width, bit-identical arrays."""
+    from repro.kernels import resolve_index_dtype
+
+    expect = resolve_index_dtype(mats)
+    ref = spkadd(mats, method="hash").matrix
+    assert ref.indices.dtype == expect
+    for executor in ("thread", "process", "shm"):
+        got = spkadd(
+            mats, method="hash", threads=threads, executor=executor
+        ).matrix
+        assert got.indices.dtype == expect
+        assert got.indptr.dtype == ref.indptr.dtype
         assert_bitwise_equal(ref, got)
 
 
