@@ -140,6 +140,76 @@ def main(argv=None) -> int:
             executor=executor, backends=("fast",),
         )
 
+    # Pool-lifecycle series: executor="process" routes through the
+    # persistent pool registry, so only the first call after a teardown
+    # pays the forkserver pool spawn.  Pair each cold call (registry
+    # emptied first — the pre-ISSUE-5 per-call cost) with a warm call
+    # reusing the pool the cold call just built; pairing cancels machine
+    # drift out of the ratio.
+    from repro.parallel.pools import shutdown_pools
+
+    print(f"pool series: hash/fast, cold vs persistent process pool, "
+          f"T={exec_threads} (paired)")
+    pool_wall = {"cold": float("inf"), "warm": float("inf")}
+    for _ in range(max(args.repeats, 5)):
+        shutdown_pools(kind="process")
+        for leg in ("cold", "warm"):
+            t0 = time.perf_counter()
+            pool_res = repro.spkadd(
+                er, method="hash", threads=exec_threads,
+                executor="process", backend="fast",
+            )
+            pool_wall[leg] = min(pool_wall[leg], time.perf_counter() - t0)
+    for leg in ("cold", "warm"):
+        records.append({
+            "workload": f"er_k8_n65536_{leg}pool",
+            "method": "hash",
+            "backend": "fast",
+            "executor": "process",
+            "threads": exec_threads,
+            "wall_s": round(pool_wall[leg], 6),
+            "input_nnz": sum(A.nnz for A in er),
+            "output_nnz": pool_res.matrix.nnz,
+            "ops": float(pool_res.stats.ops),
+            "probes": float(pool_res.stats.probes),
+        })
+        print(f"  er_k8_n65536_{leg}pool   hash fast process "
+              f"T={exec_threads} {pool_wall[leg] * 1e3:9.1f} ms")
+
+    # Result-placement series: the shm engine's zero-copy default
+    # (segment-backed arrays, no final memcpy) vs materialize=True (the
+    # old copy-out contract), paired on one warm pool.
+    print(f"result series: hash/fast shm zero-copy vs materialized, "
+          f"T={exec_threads} (paired)")
+    result_wall = {"zerocopy": float("inf"), "materialized": float("inf")}
+    repro.spkadd(er, method="hash", threads=exec_threads, executor="shm",
+                 backend="fast")  # warm the shm pool
+    for _ in range(max(args.repeats, 8)):
+        for leg, mat_flag in (("zerocopy", False), ("materialized", True)):
+            t0 = time.perf_counter()
+            result_res = repro.spkadd(
+                er, method="hash", threads=exec_threads, executor="shm",
+                backend="fast", materialize=mat_flag,
+            )
+            result_wall[leg] = min(
+                result_wall[leg], time.perf_counter() - t0
+            )
+    for leg in ("zerocopy", "materialized"):
+        records.append({
+            "workload": f"er_k8_n65536_{leg}",
+            "method": "hash",
+            "backend": "fast",
+            "executor": "shm",
+            "threads": exec_threads,
+            "wall_s": round(result_wall[leg], 6),
+            "input_nnz": sum(A.nnz for A in er),
+            "output_nnz": result_res.matrix.nnz,
+            "ops": float(result_res.stats.ops),
+            "probes": float(result_res.stats.probes),
+        })
+        print(f"  er_k8_n65536_{leg:12s} hash fast shm "
+              f"T={exec_threads} {result_wall[leg] * 1e3:9.1f} ms")
+
     # Dtype series: the identical workload with float32 values through
     # the shm engine — the value pipeline preserves the narrow dtype end
     # to end, halving the bytes published/staged/scattered per entry.
@@ -248,6 +318,20 @@ def main(argv=None) -> int:
     print(f"hash shm-vs-process executor speedup (k=8, m=2^16, T=4): "
           f"{shm_speedup}x")
 
+    persist_speedup = (
+        round(pool_wall["cold"] / pool_wall["warm"], 2)
+        if pool_wall["warm"] not in (0, float("inf")) else None
+    )
+    print(f"hash process persistent-vs-cold pool speedup (k=8, m=2^16, "
+          f"T={exec_threads}): {persist_speedup}x")
+
+    zerocopy_speedup = (
+        round(result_wall["materialized"] / result_wall["zerocopy"], 2)
+        if result_wall["zerocopy"] not in (0, float("inf")) else None
+    )
+    print(f"hash shm zero-copy result speedup (k=8, m=2^16, "
+          f"T={exec_threads}): {zerocopy_speedup}x")
+
     shm_f32 = wall_of("hash", "fast", threads=4, executor="shm",
                       workload="er_k8_n65536_f32")
     f32_speedup = round(shm / shm_f32, 2) if shm and shm_f32 else None
@@ -265,7 +349,7 @@ def main(argv=None) -> int:
           f"float32 values, T=2): {idx_speedup}x")
 
     payload = {
-        "schema": 4,
+        "schema": 5,
         "preset": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -276,6 +360,8 @@ def main(argv=None) -> int:
             "hash_shm_vs_process_speedup": shm_speedup,
             "hash_shm_float32_vs_float64_speedup": f32_speedup,
             "hash_shm_int32_vs_int64_index_speedup": idx_speedup,
+            "hash_process_persistent_vs_cold_pool_speedup": persist_speedup,
+            "hash_shm_zero_copy_result_speedup": zerocopy_speedup,
         },
         "results": records,
     }

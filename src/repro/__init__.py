@@ -29,8 +29,9 @@ from repro.core.api import SpKAddResult, available_methods, spkadd
 from repro.core.stats import KernelStats
 from repro.formats import CSCMatrix, CSRMatrix, COOMatrix
 from repro.kernels import available_backends, get_backend
+from repro.parallel.pools import shutdown_pools
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SpKAddResult",
@@ -38,6 +39,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "spkadd",
+    "shutdown_pools",
     "KernelStats",
     "CSCMatrix",
     "CSRMatrix",

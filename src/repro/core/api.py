@@ -112,6 +112,7 @@ def spkadd(
     executor: Optional[str] = None,
     value_dtype=None,
     index_dtype=None,
+    materialize: Optional[bool] = None,
     **kwargs,
 ) -> SpKAddResult:
     """Add a collection of sparse matrices: ``B = sum_i A_i``.
@@ -159,7 +160,10 @@ def spkadd(
         symbolically sized shared buffer — see
         :mod:`repro.parallel.shm`).  ``None`` (or ``"auto"``) consults
         the ``REPRO_EXECUTOR`` environment variable and then defaults to
-        ``"thread"``.  Only consulted when ``threads > 1``.
+        ``"thread"``.  Only consulted when ``threads > 1``.  Both
+        process-based executors draw persistent workers from the pool
+        registry (:mod:`repro.parallel.pools`), so repeated calls reuse
+        warm workers; ``repro.shutdown_pools()`` releases them.
     value_dtype:
         Optional override of the value dtype the sum is computed (and
         returned) in.  ``None`` preserves the inputs: the output dtype
@@ -183,6 +187,18 @@ def spkadd(
         that cannot hold the call's bounds transparently promotes to
         int64 (indices never wrap); the resolved width is identical
         across every method, backend, and executor.
+    materialize:
+        Result placement for the shared-memory executor.  ``None`` (the
+        default) consults the ``REPRO_SHM_RESULTS`` environment variable
+        and then returns **zero-copy** results: the output
+        ``indices``/``data`` are views into the engine's shared segment,
+        kept alive by ``result.matrix.buffer_owner`` — the segment
+        unlinks itself when the last view is garbage-collected, so huge
+        outputs skip the final copy out of shared memory.  ``True``
+        copies the result into private memory before the segment is
+        unlinked (the pre-zero-copy contract; ``matrix.materialize()``
+        converts after the fact).  Ignored by the serial path and the
+        thread/process executors, whose results are always private.
 
     Returns
     -------
@@ -218,7 +234,8 @@ def spkadd(
 
         return parallel_spkadd(
             mats, method, threads=threads, sorted_output=sorted_output,
-            executor=executor, index_dtype=index_dtype, **kwargs
+            executor=executor, index_dtype=index_dtype,
+            materialize=materialize, **kwargs
         )
     if method == "sliding_hash" and "cache_bytes" in kwargs:
         kwargs.setdefault("threads", threads)

@@ -147,12 +147,23 @@ class CompressedBase:
         whether every major slice has strictly increasing minor indices.
         The heap and 2-way kernels require sorted inputs; hash and SPA do
         not (Table I, last column).
+    buffer_owner:
+        ``None`` for matrices over private memory (the overwhelming
+        default).  The shared-memory engine's zero-copy results instead
+        carry the keep-alive owner of the segment backing
+        ``indices``/``data``
+        (:class:`repro.parallel.shm.SharedResultOwner`); lifetime safety
+        does **not** depend on this attribute — the arrays themselves pin
+        the segment via finalizers — it exists so callers can detect
+        shared backing (:attr:`is_shm_backed`) and request a private
+        copy (:meth:`materialize`).
     """
 
     #: subclass sets: 0 if rows are the major (CSR), 1 if columns (CSC)
     _major_axis: int = 1
 
-    __slots__ = ("indptr", "indices", "data", "shape", "sorted")
+    __slots__ = ("indptr", "indices", "data", "shape", "sorted",
+                 "buffer_owner")
 
     def __init__(
         self,
@@ -169,6 +180,7 @@ class CompressedBase:
         self.indices = np.asarray(indices)
         self.data = np.asarray(data)
         self.sorted = bool(sorted)
+        self.buffer_owner = None
         if not np.issubdtype(self.indptr.dtype, np.integer):
             self.indptr = self.indptr.astype(DEFAULT_INDEX_DTYPE)
         if not np.issubdtype(self.indices.dtype, np.integer):
@@ -199,6 +211,49 @@ class CompressedBase:
     def index_dtype(self) -> np.dtype:
         """Dtype of the minor-index array (the stored index width)."""
         return self.indices.dtype
+
+    @property
+    def is_shm_backed(self) -> bool:
+        """True when ``indices``/``data`` live in an engine-owned shared
+        segment (a zero-copy shm result); see :meth:`materialize`."""
+        return self.buffer_owner is not None
+
+    def _derive(
+        self, shape, indptr, indices, data, *, sorted, shares_buffers
+    ) -> "CompressedBase":
+        """Same-type matrix built from arrays derived from this one.
+
+        Every derived-matrix constructor routes through here so the
+        shared-backing decision is made explicitly at each site:
+        ``shares_buffers=True`` means some arrays are (views of) this
+        matrix's buffers, so the shared-backing marker must travel with
+        them; ``False`` means all arrays are private copies.
+        """
+        out = type(self)(
+            shape, indptr, indices, data, sorted=sorted, check=False
+        )
+        if shares_buffers:
+            out.buffer_owner = self.buffer_owner
+        return out
+
+    def materialize(self) -> "CompressedBase":
+        """Private-memory copy of a shared-segment-backed matrix.
+
+        Returns ``self`` unchanged when the matrix already owns private
+        buffers.  Use this before handing a zero-copy shm result to code
+        that must outlive any shared-memory bookkeeping (the original's
+        segment still unlinks on its own gc).
+        """
+        if self.buffer_owner is None:
+            return self
+        return type(self)(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.copy(),
+            sorted=self.sorted,
+            check=False,
+        )
 
     def validate(self) -> None:
         """Check the structural invariants of the format.
@@ -284,13 +339,14 @@ class CompressedBase:
         dt = np.dtype(value_dtype)
         if not copy and dt == self.data.dtype:
             return self
-        return type(self)(
+        # The index arrays stay shared with the original.
+        return self._derive(
             self.shape,
             self.indptr,
             self.indices,
             self.data.astype(dt, copy=True),
             sorted=self.sorted,
-            check=False,
+            shares_buffers=True,
         )
 
     def with_index_dtype(self, index_dtype, *, copy: bool = False) -> "CompressedBase":
@@ -318,13 +374,15 @@ class CompressedBase:
                 f"matrix with n_minor={self.n_minor}, nnz={self.nnz} does "
                 f"not fit {dt} indices"
             )
-        return type(self)(
+        # The value array (and possibly the index arrays, when astype is
+        # a no-op cast) stays shared.
+        return self._derive(
             self.shape,
             self.indptr.astype(dt, copy=copy),
             self.indices.astype(dt, copy=copy),
             self.data,
             sorted=self.sorted,
-            check=False,
+            shares_buffers=True,
         )
 
     # ------------------------------------------------------------ mutation
@@ -344,8 +402,56 @@ class CompressedBase:
         self.indices = np.ascontiguousarray(self.indices[order])
         self.data = np.ascontiguousarray(self.data[order])
         self.sorted = True
+        # The fancy-indexed arrays above are private copies; the shared
+        # segment (if any) is referenced only by the arrays just
+        # dropped, so this matrix is no longer shm-backed.
+        self.buffer_owner = None
 
     # ------------------------------------------------------------- dunders
+    def __getstate__(self):
+        # The arrays pickle by value, so a transported matrix owns
+        # private memory — drop the (unpicklable, segment-bound)
+        # buffer_owner rather than serializing it.  This is what lets a
+        # zero-copy shm result be pickled, cached, or fed back through
+        # the process executor's chunk transport.
+        return {
+            "shape": self.shape,
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "data": self.data,
+            "sorted": self.sorted,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.shape = state["shape"]
+        self.indptr = state["indptr"]
+        self.indices = state["indices"]
+        self.data = state["data"]
+        self.sorted = state["sorted"]
+        self.buffer_owner = None
+
+    def __copy__(self) -> "CompressedBase":
+        # A shallow copy shares the arrays — including segment-backed
+        # ones — so unlike pickling it must keep the shared-backing
+        # marker (the copy protocol would otherwise reuse
+        # __getstate__/__setstate__ and falsely report private memory).
+        return self._derive(
+            self.shape, self.indptr, self.indices, self.data,
+            sorted=self.sorted, shares_buffers=True,
+        )
+
+    def __deepcopy__(self, memo) -> "CompressedBase":
+        import copy as _copy
+
+        return type(self)(
+            self.shape,
+            _copy.deepcopy(self.indptr, memo),
+            _copy.deepcopy(self.indices, memo),
+            _copy.deepcopy(self.data, memo),
+            sorted=self.sorted,
+            check=False,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cls = type(self).__name__
         return (

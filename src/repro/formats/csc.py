@@ -238,13 +238,15 @@ class CSCMatrix(CompressedBase):
         columns are divided among threads.
         """
         lo = int(self.indptr[j0])
-        return CSCMatrix(
+        # A view of a zero-copy shm result is itself shm-backed (NumPy
+        # slices keep the segment alive through their base arrays).
+        return self._derive(
             (self.shape[0], j1 - j0),
             self.indptr[j0 : j1 + 1] - lo,
             self.indices[lo : int(self.indptr[j1])],
             self.data[lo : int(self.indptr[j1])],
             sorted=self.sorted,
-            check=False,
+            shares_buffers=True,
         )
 
     def embed_columns(self, n_total: int, j_offset: int) -> "CSCMatrix":

@@ -15,7 +15,11 @@ hash table) and a disjoint set of columns.  This subpackage provides
   study (Fig 3);
 * :mod:`~repro.parallel.shm` — the ``multiprocessing.shared_memory``
   plumbing behind ``executor="shm"``: segment registry, spawn-safe
-  attach handles, and the two-wave compute/scatter engine.
+  attach handles, the two-wave compute/scatter engine, and zero-copy
+  result ownership (:class:`~repro.parallel.shm.SharedResultOwner`);
+* :mod:`~repro.parallel.pools` — the persistent worker-pool registry
+  both process-based executors draw from
+  (:func:`~repro.parallel.pools.shutdown_pools` tears it down).
 """
 
 from repro.parallel.partition import (
@@ -36,19 +40,39 @@ from repro.parallel.executor import (
     resolve_executor,
     simulate_parallel_time,
 )
+from repro.parallel.pools import (
+    PoolRegistry,
+    active_pools,
+    discard_pool,
+    get_pool,
+    lease_pool,
+    shutdown_pools,
+)
 from repro.parallel.shm import (
+    SHM_RESULTS_ENV_VAR,
     SegmentRegistry,
     SharedArraySpec,
+    SharedResultOwner,
     list_live_segments,
+    resolve_shm_results,
 )
 
 __all__ = [
     "EXECUTOR_ENV_VAR",
     "EXECUTORS",
     "resolve_executor",
+    "PoolRegistry",
+    "active_pools",
+    "discard_pool",
+    "get_pool",
+    "lease_pool",
+    "shutdown_pools",
+    "SHM_RESULTS_ENV_VAR",
     "SegmentRegistry",
     "SharedArraySpec",
+    "SharedResultOwner",
     "list_live_segments",
+    "resolve_shm_results",
     "row_partition_bounds",
     "split_even",
     "split_weighted",

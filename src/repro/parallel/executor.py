@@ -15,7 +15,11 @@ flavours:
     pickled views (the pickle materializes each chunk's slice) and
     results are stitched back with the same ``_concat_results``.  This
     sidesteps the GIL entirely, which matters for the instrumented
-    backend whose probing rounds are Python-bound.
+    backend whose probing rounds are Python-bound.  The pool is
+    **persistent**: calls route through the registry in
+    :mod:`repro.parallel.pools`, so repeated calls reuse warm forkserver
+    workers instead of paying a pool spawn per call
+    (:func:`repro.parallel.pools.shutdown_pools` releases them).
 
 ``executor="shm"``
     The zero-copy shared-memory engine (:mod:`repro.parallel.shm`):
@@ -35,7 +39,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -62,6 +68,68 @@ MULTIPROCESS_EXECUTORS = frozenset({"process", "shm"})
 MP_START_ENV_VAR = "REPRO_MP_START"
 
 
+#: serializes the fork-server boot's PYTHONPATH patch-and-restore.
+_FORKSERVER_BOOT_LOCK = threading.Lock()
+
+#: set once the fork server has been booted with the preload landed;
+#: later pool acquisitions skip the boot (and its brief env mutation)
+#: entirely.
+_FORKSERVER_BOOTED = False
+
+
+def _package_root() -> str:
+    """Directory containing the ``repro`` package (the ``src`` dir of a
+    checkout, or ``site-packages`` of an install)."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _ensure_forkserver_running() -> None:
+    """Boot the fork server with this package importable.
+
+    CPython's fork server is launched as a bare ``python -c`` process:
+    it receives the parent's ``sys.path`` but (through 3.11) never
+    applies it before importing the preload modules, and the import
+    error is swallowed.  So when the repo is reached via runtime
+    ``sys.path`` manipulation — a source checkout, exactly how the
+    benchmark driver and CI run — the preload silently failed and every
+    fresh worker re-imported numpy + the repro stack at fork time
+    (~1s per pool spawn, observed; ~100ms with the preload landed).
+    Prepending the package root to ``PYTHONPATH`` just while the server
+    boots makes the preload land in every deployment mode.  The boot
+    runs **once per process**: the patch-and-restore is serialized by a
+    module lock (concurrent acquisitions cannot interleave their
+    snapshots and corrupt the real ``PYTHONPATH``) and a booted flag
+    keeps later pool acquisitions off this path entirely — the brief
+    window in which an unrelated thread spawning a subprocess could
+    inherit the patched value exists once per process, not per call.
+    (If the server is later killed, multiprocessing's own lazy
+    ``ensure_running`` revives it — without the preload, slower forks,
+    but correct.)
+    """
+    global _FORKSERVER_BOOTED
+    if _FORKSERVER_BOOTED:
+        return
+    from multiprocessing import forkserver
+
+    with _FORKSERVER_BOOT_LOCK:
+        if _FORKSERVER_BOOTED:
+            return
+        old = os.environ.get("PYTHONPATH")
+        os.environ["PYTHONPATH"] = os.pathsep.join(
+            [_package_root()] + ([old] if old else [])
+        )
+        try:
+            forkserver.ensure_running()
+        finally:
+            if old is None:
+                del os.environ["PYTHONPATH"]
+            else:
+                os.environ["PYTHONPATH"] = old
+        _FORKSERVER_BOOTED = True
+
+
 def mp_context():
     """Multiprocessing context for the process-based executors.
 
@@ -85,6 +153,7 @@ def mp_context():
         # instead of re-importing the stack — without this, a fresh
         # per-call process pool pays ~1s of import per worker.
         ctx.set_forkserver_preload(["repro.parallel.executor"])
+        _ensure_forkserver_running()
     return ctx
 
 
@@ -92,14 +161,25 @@ def resolve_executor(name: Optional[str] = None) -> str:
     """Resolve an executor name: explicit argument > ``REPRO_EXECUTOR``
     environment variable > ``"thread"``.
 
+    An unknown name is rejected with an error that says *where* the bad
+    name came from — a misconfigured ``REPRO_EXECUTOR`` on a CI leg
+    reads differently from a typo at the call site.
+
     >>> resolve_executor("shm")
     'shm'
     """
+    source = "executor argument"
     if name is None or name == "auto":
-        name = os.environ.get(EXECUTOR_ENV_VAR) or "thread"
+        env = os.environ.get(EXECUTOR_ENV_VAR)
+        if env:
+            name = env
+            source = f"{EXECUTOR_ENV_VAR} environment variable"
+        else:
+            name = "thread"
     if name not in EXECUTORS:
         raise ValueError(
-            f"unknown executor {name!r}; choose from {EXECUTORS}"
+            f"unknown executor {name!r} (from the {source}); "
+            f"choose from {EXECUTORS}"
         )
     return name
 
@@ -133,7 +213,16 @@ def _concat_results(mats, parts, index_dtype=None):
     offset = 0
     for j0, sub in chunks:
         w = sub.shape[1]
-        indptr[j0 + 1 : j0 + w + 1] = sub.indptr[1:].astype(np.int64) + offset
+        # Rebase in int64 (chunk pointers + a global offset can exceed a
+        # narrow chunk width mid-expression), then narrow explicitly to
+        # the resolved width.  The narrowing is lossless by invariant,
+        # not by the cast itself: the call-level resolution guard picked
+        # ``idt`` to hold the summed input nnz, an upper bound on every
+        # rebased pointer entry.  The explicit astype states that
+        # invariant at the narrowing site instead of burying it in a
+        # silent unsafe setitem.
+        rebased = sub.indptr[1:].astype(np.int64, copy=False) + offset
+        indptr[j0 + 1 : j0 + w + 1] = rebased.astype(idt, copy=False)
         indices[offset : offset + sub.nnz] = sub.indices
         offset += sub.nnz
         data.append(sub.data)
@@ -181,6 +270,7 @@ def parallel_spkadd(
     chunks_per_thread: int = 4,
     executor: Optional[str] = None,
     index_dtype=None,
+    materialize: Optional[bool] = None,
     **kwargs,
 ):
     """Column-parallel SpKAdd (paper Section III-A).
@@ -192,7 +282,13 @@ def parallel_spkadd(
     ``"thread"``).  Per-chunk stats are merged; the result is
     bit-identical to the sequential method.  ``index_dtype`` pins the
     output index width (default: the call-level int32-when-it-fits
-    rule, identical to the serial kernels').
+    rule, identical to the serial kernels').  ``materialize`` controls
+    shm result placement (see :func:`repro.parallel.shm.resolve_shm_results`);
+    the thread and process executors always return private arrays.
+
+    Both process-based executors draw persistent workers from
+    :mod:`repro.parallel.pools` and fail fast: the first chunk error
+    cancels everything still queued and propagates immediately.
     """
     # Deferred: repro.core.api imports this module's caller chain.
     from repro.core.api import BACKEND_AWARE_METHODS, SpKAddResult, _REGISTRY
@@ -230,14 +326,18 @@ def parallel_spkadd(
         out, stat_items = shm_parallel_run(
             mats, method, ranges,
             sorted_output=sorted_output, kwargs=kwargs, threads=threads,
-            index_dtype=index_dtype,
+            index_dtype=index_dtype, materialize=materialize,
         )
     else:
         results = []
         if executor == "process":
-            with ProcessPoolExecutor(
-                max_workers=threads, mp_context=mp_context()
-            ) as pool:
+            from repro.parallel.pools import (
+                collect_fail_fast,
+                discard_pool,
+                lease_pool,
+            )
+
+            with lease_pool("process", threads) as pool:
                 futures = [
                     pool.submit(
                         _run_chunk,
@@ -249,8 +349,13 @@ def parallel_spkadd(
                     )
                     for j0, j1 in ranges
                 ]
-                for fut in futures:
-                    results.append(fut.result())
+                try:
+                    results = collect_fail_fast(futures)
+                except BrokenProcessPool:
+                    # A dead worker poisons the executor; drop it from
+                    # the registry so the next call starts clean.
+                    discard_pool(pool)
+                    raise
         else:
             def work(rng):
                 j0, j1 = rng

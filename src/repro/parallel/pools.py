@@ -1,0 +1,298 @@
+"""Persistent worker-pool lifecycle service.
+
+Before this module existed the repo had two pool lifecycles: the shm
+engine (:class:`repro.parallel.shm.SharedMemoryPool`) kept its workers
+alive across calls, while ``executor="process"`` built — and tore down —
+a fresh ``ProcessPoolExecutor`` on *every* ``parallel_spkadd`` call.
+Even with the forkserver's warm-interpreter forks that per-call spawn
+dominates small and medium calls, and it is exactly the cost CombBLAS-
+style systems amortize by keeping worker state resident.
+
+This module unifies both behind one registry of **persistent process
+pools keyed by ``(kind, threads, start-method)``**:
+
+* ``kind`` separates independent consumers (``"process"`` for the
+  pickling executor, ``"shm"`` for the shared-memory engine) so their
+  workers never share task queues;
+* ``threads`` is the worker count — pools of different widths coexist;
+* the start method (``fork``/``forkserver``/``spawn``) comes from the
+  multiprocessing context the consumer resolves, so an engine pinned to
+  ``spawn`` never collides with the forkserver default.
+
+Lifecycle guarantees:
+
+* **Reuse** — :func:`get_pool` returns the same executor for the same
+  key until it is discarded, so repeated calls pay the pool spawn once.
+* **Health** — a pool observed broken (``BrokenProcessPool``) is
+  discarded via :func:`discard_pool`; :meth:`PoolRegistry.get` also
+  drops any pool that is already marked broken, so the next call always
+  receives a working pool instead of a poisoned one.
+* **Teardown** — :func:`shutdown_pools` releases every registered pool
+  (optionally filtered by ``kind``); the module registers it with
+  ``atexit`` so embedders who never call it still exit cleanly, and
+  :class:`PoolRegistry` doubles as a context manager for scoped private
+  lifecycles (``with PoolRegistry() as reg: ...``).
+
+:func:`collect_fail_fast` is the shared future-collection policy: the
+first chunk failure cancels everything still queued and propagates
+immediately, instead of draining every sibling future first.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import threading
+from concurrent.futures import FIRST_EXCEPTION, Future, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: registry key: (consumer kind, worker count, multiprocessing start method).
+PoolKey = Tuple[str, int, str]
+
+
+def pool_is_broken(pool: ProcessPoolExecutor) -> bool:
+    """Whether a pool has been poisoned by a dead worker.
+
+    CPython marks this via the private ``_broken`` attribute; every
+    health check in the package goes through this one helper so the
+    private-API dependency is localized (and greppable) if the
+    attribute ever changes.
+    """
+    return bool(getattr(pool, "_broken", False))
+
+#: default cap on resident pools per kind: a sweep over worker counts
+#: (autotuning, the test suite's thread axes) must not leave one idle
+#: pool per width alive until exit.  Least-recently-used pools beyond
+#: the cap are released; their already-queued work is left to drain.
+DEFAULT_MAX_POOLS_PER_KIND = 2
+
+
+class PoolRegistry:
+    """Registry of persistent :class:`ProcessPoolExecutor` instances.
+
+    Thread-safe; one registry instance owns its pools exclusively.  The
+    module-level default registry (reached through :func:`get_pool`)
+    serves both built-in executors; embedders who want an isolated
+    lifecycle can instantiate their own and use it as a context manager.
+    Residency is bounded: at most ``max_pools_per_kind`` pools stay
+    resident per ``kind``, evicted least-recently-used.
+    """
+
+    def __init__(
+        self, max_pools_per_kind: int = DEFAULT_MAX_POOLS_PER_KIND
+    ) -> None:
+        # dict order doubles as the LRU order: re-inserted on access.
+        self._pools: Dict[PoolKey, ProcessPoolExecutor] = {}
+        # live lease count per pool object: a leased pool is mid-call
+        # and must never be evicted (its caller will submit more work).
+        self._leases: Dict[ProcessPoolExecutor, int] = {}
+        # pools removed by shutdown() while leased: closed gracefully by
+        # the releasing lease instead of cancelled mid-call.
+        self._doomed: set = set()
+        self._lock = threading.Lock()
+        self._max_per_kind = max(int(max_pools_per_kind), 1)
+
+    def get(
+        self, kind: str, threads: int, mp_context=None
+    ) -> ProcessPoolExecutor:
+        """The persistent pool for ``(kind, threads, start-method)``,
+        created on first use and reused until discarded or evicted.
+
+        ``mp_context=None`` resolves the repo default
+        (:func:`repro.parallel.executor.mp_context` — forkserver where
+        available).  A pool found already broken is replaced with a
+        fresh one before being handed out.  Callers that submit work in
+        multiple waves should prefer :meth:`lease`, which additionally
+        pins the pool against LRU eviction for the duration.
+        """
+        return self._acquire(kind, threads, mp_context, leased=False)
+
+    @contextlib.contextmanager
+    def lease(self, kind: str, threads: int, mp_context=None):
+        """Context manager checking the pool out for one call.
+
+        While leased, the pool cannot be LRU-evicted by concurrent
+        acquisitions of other widths — without this, a caller could see
+        its pool shut down between two submit waves and fail with
+        ``RuntimeError`` despite healthy workers.
+        """
+        pool = self._acquire(kind, threads, mp_context, leased=True)
+        try:
+            yield pool
+        finally:
+            to_close = None
+            with self._lock:
+                n = self._leases.get(pool, 0)
+                if n <= 1:
+                    self._leases.pop(pool, None)
+                    if pool in self._doomed:
+                        # shutdown() arrived mid-call; finish the job
+                        # now that the call is over.
+                        self._doomed.discard(pool)
+                        to_close = pool
+                else:
+                    self._leases[pool] = n - 1
+            if to_close is not None:
+                to_close.shutdown(wait=False)
+
+    def _acquire(
+        self, kind, threads, mp_context, *, leased: bool
+    ) -> ProcessPoolExecutor:
+        if mp_context is None:
+            # Deferred: executor imports this module.
+            from repro.parallel.executor import mp_context as default_context
+
+            mp_context = default_context()
+        key = (str(kind), int(threads), mp_context.get_start_method())
+        evicted = []
+        with self._lock:
+            pool = self._pools.pop(key, None)
+            if pool is not None and pool_is_broken(pool):
+                # Health rebuild: a crashed worker poisons the whole
+                # executor; hand out a fresh pool, never the corpse.
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._leases.pop(pool, None)
+                pool = None
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=int(threads), mp_context=mp_context
+                )
+            self._pools[key] = pool  # (re-)insert at the LRU tail
+            if leased:
+                self._leases[pool] = self._leases.get(pool, 0) + 1
+            same_kind = [k for k in self._pools if k[0] == key[0]]
+            excess = len(same_kind) - self._max_per_kind
+            for old_key in same_kind:  # oldest first; `key` is the tail
+                if excess <= 0:
+                    break
+                old = self._pools[old_key]
+                if old_key == key or self._leases.get(old, 0):
+                    continue  # never evict the caller's or a leased pool
+                evicted.append(self._pools.pop(old_key))
+                excess -= 1
+        for old in evicted:
+            # No cancel: futures already submitted to an evicted pool
+            # complete — the workers drain the queue and then exit.
+            old.shutdown(wait=False)
+        return pool
+
+    def discard(self, pool: ProcessPoolExecutor, *, wait: bool = False) -> None:
+        """Drop ``pool`` from the registry and shut it down.
+
+        Call sites use this when they observe ``BrokenProcessPool``; the
+        next :meth:`get` for the key builds a clean replacement.  Safe to
+        call with a pool the registry no longer holds (already replaced).
+        Lease-aware like :meth:`shutdown`: while another call still
+        holds a lease on the pool, it is only unregistered here and
+        closed by the releasing lease — a healthy concurrent call is
+        never cancelled from under its caller.
+        """
+        with self._lock:
+            for key, p in list(self._pools.items()):
+                if p is pool:
+                    del self._pools[key]
+            if self._leases.get(pool, 0):
+                self._doomed.add(pool)
+                return
+            self._doomed.discard(pool)
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+    def shutdown(self, *, kind: Optional[str] = None, wait: bool = True) -> None:
+        """Release every registered pool (``kind`` filters by consumer).
+
+        Graceful: a pool currently leased by an in-flight call is only
+        *unregistered* here — the releasing lease closes it when the
+        call completes, so concurrent SpKAdd calls are never cancelled
+        out from under their caller (``wait=True`` therefore does not
+        wait for leased pools).  Subsequent :meth:`get` calls rebuild
+        pools on demand, so this is safe at any point — embedders
+        should call the module-level :func:`shutdown_pools` before
+        forking their own processes or at service shutdown.
+        """
+        with self._lock:
+            removed = [
+                (key, pool)
+                for key, pool in self._pools.items()
+                if kind is None or key[0] == kind
+            ]
+            for key, _ in removed:
+                del self._pools[key]
+            immediate = []
+            for _, pool in removed:
+                if self._leases.get(pool, 0):
+                    self._doomed.add(pool)
+                else:
+                    immediate.append(pool)
+        for pool in immediate:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def active(self) -> Dict[PoolKey, ProcessPoolExecutor]:
+        """Snapshot of the live pools (introspection / soak tests)."""
+        with self._lock:
+            return dict(self._pools)
+
+    def __enter__(self) -> "PoolRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def collect_fail_fast(futures: Sequence[Future]) -> List:
+    """Results of ``futures`` in submission order, failing fast.
+
+    Waits with ``FIRST_EXCEPTION``: the moment any future raises, every
+    future still pending is cancelled and the error propagates — the
+    caller does not sit through the surviving chunks before hearing
+    about the poisoned one.  (Chunks already *running* cannot be
+    cancelled; their results are simply never collected.)
+    """
+    done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+    failed = next(
+        (f for f in done if not f.cancelled() and f.exception() is not None),
+        None,
+    )
+    if failed is not None:
+        for f in pending:
+            f.cancel()
+        failed.result()  # re-raises with the worker traceback attached
+    return [f.result() for f in futures]
+
+
+#: the default registry serving ``executor="process"`` and the shm engine.
+_DEFAULT_REGISTRY = PoolRegistry()
+
+
+def get_pool(kind: str, threads: int, mp_context=None) -> ProcessPoolExecutor:
+    """Persistent pool from the default registry (see :class:`PoolRegistry`)."""
+    return _DEFAULT_REGISTRY.get(kind, threads, mp_context)
+
+
+def lease_pool(kind: str, threads: int, mp_context=None):
+    """Check a persistent pool out of the default registry for one call
+    (context manager; pins the pool against LRU eviction — see
+    :meth:`PoolRegistry.lease`)."""
+    return _DEFAULT_REGISTRY.lease(kind, threads, mp_context)
+
+
+def discard_pool(pool: ProcessPoolExecutor, *, wait: bool = False) -> None:
+    """Drop a (typically broken) pool from the default registry."""
+    _DEFAULT_REGISTRY.discard(pool, wait=wait)
+
+
+def shutdown_pools(*, kind: Optional[str] = None, wait: bool = True) -> None:
+    """Release the default registry's pools (all kinds, or one ``kind``).
+
+    The public teardown API: embedders call this at service shutdown,
+    before ``os.fork``, or to reclaim idle workers; the next SpKAdd call
+    transparently rebuilds what it needs.  Registered with ``atexit``.
+    """
+    _DEFAULT_REGISTRY.shutdown(kind=kind, wait=wait)
+
+
+def active_pools() -> Dict[PoolKey, ProcessPoolExecutor]:
+    """Snapshot of the default registry's live pools."""
+    return _DEFAULT_REGISTRY.active()
+
+
+atexit.register(shutdown_pools)

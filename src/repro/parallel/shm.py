@@ -25,29 +25,41 @@ Chunk results are produced by the same ``_run_chunk`` the thread and
 process pools use, so the assembled matrix (and the merged stats) are
 bit-identical across all executors and both kernel backends.
 
-Engine lifecycle (:class:`SharedMemoryPool`): the worker pool is created
-on first use and **reused across calls** — repeated ``spkadd`` calls pay
-the worker-startup cost once (a ``forkserver`` spawn by default — see
-:func:`repro.parallel.executor.mp_context` — which is exactly the cost
-the per-call process executor pays every time).  Workers key their cached attachments by a per-call
-session id and drop the previous session's mappings when a new one
-arrives, so steady-state worker memory is bounded by one call's
-segments.  A broken pool (crashed worker) is discarded and rebuilt on
-the next call.
+Engine lifecycle (:class:`SharedMemoryPool`): workers come from the
+persistent pool registry (:mod:`repro.parallel.pools`) and are **reused
+across calls** — repeated ``spkadd`` calls pay the worker-startup cost
+once (a ``forkserver`` spawn by default — see
+:func:`repro.parallel.executor.mp_context`).  Workers key their cached
+attachments by a per-call session id and drop the previous session's
+mappings when a new one arrives, so steady-state worker memory is
+bounded by one call's segments.  A broken pool (crashed worker) is
+discarded from the registry and rebuilt on the next call;
+:func:`repro.parallel.pools.shutdown_pools` releases the workers.
 
 Segment lifecycle: every segment is created by the *parent* and tracked
-in a :class:`SegmentRegistry`; ``unlink()`` runs in a ``finally`` so no
-``/dev/shm`` entry survives normal exit, a worker exception, or a broken
-pool.  Workers only ever attach by name — handles travel as picklable
-:class:`SharedArraySpec` tuples, which keeps the engine safe under the
-``spawn`` start method (Windows/macOS) as well as ``fork``.
+in a :class:`SegmentRegistry`; input and scratch segments are unlinked
+in a ``finally`` so none survives normal exit, a worker exception, or a
+broken pool.  Workers only ever attach by name — handles travel as
+picklable :class:`SharedArraySpec` tuples, which keeps the engine safe
+under the ``spawn`` start method (Windows/macOS) as well as ``fork``.
+
+Result placement is **zero-copy** by default: the finished CSC arrays
+are returned as views into the output segment, kept alive by a
+:class:`SharedResultOwner` whose finalizer unlinks the segment when the
+last view dies — huge outputs never pay a final memcpy, and ``/dev/shm``
+still ends empty once the result is garbage-collected.
+``spkadd(..., materialize=True)`` (or ``REPRO_SHM_RESULTS=materialize``)
+restores the private-copy behaviour for callers whose results must
+outlive any shared-memory bookkeeping.
 """
 
 from __future__ import annotations
 
 import os
 import secrets
+import sys
 import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -61,6 +73,11 @@ from repro.formats.csc import CSCMatrix
 #: every segment this engine creates is named with this prefix, so leak
 #: checks (and humans inspecting /dev/shm) can attribute them.
 SEGMENT_PREFIX = "repro_shm_"
+
+#: environment variable pinning the engine's default result placement:
+#: ``zero-copy`` (the default — segment-backed arrays, unlink on gc) or
+#: ``materialize``/``copy`` (private copies, the pre-zero-copy contract).
+SHM_RESULTS_ENV_VAR = "REPRO_SHM_RESULTS"
 
 #: byte alignment of packed arrays inside a segment (>= any dtype's
 #: itemsize here; keeps every view naturally aligned for NumPy).
@@ -93,6 +110,30 @@ class SharedArraySpec:
             buffer=buf,
             offset=self.offset,
         )
+
+
+def resolve_shm_results(materialize: Optional[bool] = None) -> bool:
+    """True when shm results must be materialized (copied out of shared
+    memory): explicit ``materialize=`` argument > ``REPRO_SHM_RESULTS``
+    environment variable > zero-copy default.
+
+    >>> resolve_shm_results(True)
+    True
+    """
+    if materialize is not None:
+        return bool(materialize)
+    raw = os.environ.get(SHM_RESULTS_ENV_VAR)
+    if not raw:
+        return False
+    mode = raw.strip().lower().replace("_", "-")
+    if mode in ("zero-copy", "zerocopy"):
+        return False
+    if mode in ("materialize", "copy"):
+        return True
+    raise ValueError(
+        f"unknown shm result mode {raw!r} (from the {SHM_RESULTS_ENV_VAR} "
+        "environment variable); choose 'zero-copy' or 'materialize'"
+    )
 
 
 def _new_segment_name() -> str:
@@ -181,6 +222,19 @@ class SegmentRegistry:
         """Private copy of an array's contents (survives :meth:`unlink`)."""
         return self._views[spec].copy()
 
+    def detach(self, name: str) -> shared_memory.SharedMemory:
+        """Transfer ownership of segment ``name`` out of the registry.
+
+        The registry forgets the segment (and drops its parent-side
+        views), so :meth:`unlink` will no longer touch it — the caller
+        becomes responsible for its lifetime, normally by wrapping it in
+        a :class:`SharedResultOwner`.
+        """
+        seg = self._segments.pop(name)
+        for spec in [s for s in self._views if s.name == name]:
+            del self._views[spec]
+        return seg
+
     # ----------------------------------------------------------- cleanup
     def unlink(self) -> None:
         """Drop views, close and unlink every owned segment (idempotent)."""
@@ -201,6 +255,79 @@ class SegmentRegistry:
 
     def __exit__(self, *exc) -> None:
         self.unlink()
+
+
+class SharedResultOwner:
+    """Keep-alive owner of a detached result segment (zero-copy results).
+
+    The engine :meth:`adopt`\\ s the output ``indices``/``data`` arrays
+    from the segment; each adopted array registers a ``weakref.finalize``
+    back to this owner, and the finalize machinery in turn holds the
+    owner alive for as long as any adopted array (or any NumPy view
+    derived from one — views keep their base array alive) exists.  When
+    the **last** adopted array is torn down, the segment is unlinked —
+    the ``/dev/shm`` entry disappears — and its mapping closed.
+
+    Ordering is safe by construction: the finalizer runs during the last
+    array's deallocation, when nothing can read the buffer any more, and
+    ``weakref.finalize`` also fires at interpreter exit, where only the
+    unlink is performed (the OS reclaims mappings at process death, and
+    closing under live late-shutdown references would dangle them).
+
+    ``release()`` exists for explicit teardown in error paths and tests;
+    it must only be called once no adopted view can be dereferenced
+    again — closing a segment unmaps it even under live views.
+    """
+
+    def __init__(self, seg: shared_memory.SharedMemory) -> None:
+        self._seg = seg
+        self._lock = threading.Lock()
+        self._outstanding = 0
+        self._released = False
+
+    @property
+    def segment_name(self) -> str:
+        """The ``/dev/shm`` entry this owner keeps alive."""
+        return self._seg.name.lstrip("/")
+
+    def adopt(self, spec: SharedArraySpec) -> np.ndarray:
+        """Segment-backed array for ``spec``, tied to this owner's life."""
+        arr = spec.as_array(self._seg.buf)
+        with self._lock:
+            self._outstanding += 1
+        weakref.finalize(arr, self._drop)
+        return arr
+
+    def _drop(self) -> None:
+        with self._lock:
+            self._outstanding -= 1
+            if self._outstanding > 0 or self._released:
+                return
+            self._released = True
+        self._release_segment()
+
+    def release(self) -> None:
+        """Unlink and close now (idempotent); see the class docstring
+        for when this is safe."""
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+        self._release_segment()
+
+    def _release_segment(self) -> None:
+        try:
+            self._seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        if sys.is_finalizing():
+            # Interpreter shutdown: a late atexit handler could still
+            # touch an adopted array; leave the mapping to the OS.
+            return
+        try:
+            self._seg.close()
+        except BufferError:  # pragma: no cover - an un-adopted export
+            pass
 
 
 class SegmentAttachments:
@@ -368,45 +495,60 @@ def _chunk_input_nnz(
 class SharedMemoryPool:
     """Persistent process pool + per-call segment sessions.
 
-    One engine instance owns at most one ``ProcessPoolExecutor``; the
-    pool survives across :meth:`run` calls with the same worker count,
-    amortizing process startup.  Calls are serialized by an internal
-    lock (concurrent sessions on one pool would thrash the workers'
-    attachment caches).  :meth:`shutdown` releases the workers; the
-    module-level default engine keeps its workers until interpreter
+    Workers come from the pool registry (:mod:`repro.parallel.pools`)
+    under kind ``"shm"``, so they survive across :meth:`run` calls —
+    and across engine instances sharing a worker count and start method
+    — amortizing process startup.  Calls on one engine are serialized
+    by an internal lock, so the single default engine (every
+    ``executor="shm"`` spkadd call) keeps the workers' attachment
+    caches warm call after call.  Distinct engine *instances* sharing a
+    registry key may interleave sessions on one pool: correct (workers
+    re-key attachments by session id) but each switch re-attaches, so
+    embedders wanting concurrent engines should give them distinct
+    worker counts or contexts.  Because the pool may be shared,
+    :meth:`shutdown` only drops this engine's reference (discarding the
+    pool from the registry when it is broken); real teardown is
+    :func:`repro.parallel.pools.shutdown_pools`, and the module-level
+    default engine keeps its workers until that call or interpreter
     exit.
     """
 
     def __init__(self, mp_context=None) -> None:
+        # None = the fork-safe repo default (forkserver where available):
+        # this engine routinely coexists with thread pools in one
+        # process, where a bare fork can inherit a locked mutex and
+        # deadlock the worker.  The registry resolves the default.
         self._mp_context = mp_context
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._workers = 0
         self._lock = threading.Lock()
 
-    def _get_pool(self, threads: int) -> ProcessPoolExecutor:
-        if self._pool is None or self._workers != threads:
-            self.shutdown()
-            ctx = self._mp_context
-            if ctx is None:
-                # Default to the fork-safe context (forkserver where
-                # available): this engine routinely coexists with
-                # thread pools in one process, where a bare fork can
-                # inherit a locked mutex and deadlock the worker.
-                from repro.parallel.executor import mp_context
+    def _lease_pool(self, threads: int):
+        """Context manager: the registry pool for this engine, checked
+        out (eviction-pinned) for the duration of one call."""
+        from repro.parallel.pools import lease_pool
 
-                ctx = mp_context()
-            self._pool = ProcessPoolExecutor(
-                max_workers=threads, mp_context=ctx
-            )
-            self._workers = threads
-        return self._pool
+        return lease_pool("shm", threads, self._mp_context)
 
-    def shutdown(self) -> None:
-        """Release the worker pool (next :meth:`run` builds a fresh one)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-            self._workers = 0
+    def shutdown(self, *, discard: bool = False) -> None:
+        """Release this engine's pool reference.
+
+        A broken pool is always discarded from the registry (the next
+        :meth:`run` gets a clean one).  A healthy pool is by default
+        left registered — other engines sharing the
+        ``(kind, threads, start-method)`` key may have work in flight
+        on it, and cancelling that from an unrelated engine's teardown
+        would be action at a distance.  ``discard=True`` discards it
+        anyway: the targeted teardown for an engine whose context makes
+        the pool de-facto private (e.g. a dedicated ``spawn`` engine),
+        where leaving the workers registered would waste an LRU slot
+        until :func:`repro.parallel.pools.shutdown_pools`.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            from repro.parallel.pools import discard_pool, pool_is_broken
+
+            if discard or pool_is_broken(pool):
+                discard_pool(pool)
 
     def run(
         self,
@@ -418,20 +560,32 @@ class SharedMemoryPool:
         kwargs: dict,
         threads: int,
         index_dtype=None,
+        materialize: Optional[bool] = None,
     ):
         """Execute ``method`` over ``ranges`` on the shared-memory pool.
 
         Returns ``(matrix, stat_items)`` with ``stat_items`` a list of
         ``(j0, stats, stats_symbolic)`` per chunk, chunk-identical to
-        what the thread/process executors produce.
+        what the thread/process executors produce.  ``materialize``
+        picks result placement (:func:`resolve_shm_results`): the
+        default returns segment-backed zero-copy arrays, ``True`` copies
+        them into private memory before the segment is unlinked.
         """
+        # Resolve before any segment exists so a bad REPRO_SHM_RESULTS
+        # fails fast and clean.
+        materialize = resolve_shm_results(materialize)
         with self._lock:
             try:
-                return self._run_locked(
-                    mats, method, ranges,
-                    sorted_output=sorted_output, kwargs=kwargs,
-                    threads=threads, index_dtype=index_dtype,
-                )
+                # The lease spans both submit waves: a leased pool
+                # cannot be LRU-evicted out from under the call.
+                with self._lease_pool(threads) as pool:
+                    self._pool = pool
+                    return self._run_locked(
+                        mats, method, ranges,
+                        sorted_output=sorted_output, kwargs=kwargs,
+                        threads=threads, pool=pool,
+                        index_dtype=index_dtype, materialize=materialize,
+                    )
             except BrokenProcessPool:
                 # A dead worker poisons the whole pool; drop it so the
                 # next call starts from a clean fork.
@@ -440,7 +594,7 @@ class SharedMemoryPool:
 
     def _run_locked(
         self, mats, method, ranges, *, sorted_output, kwargs, threads,
-        index_dtype=None,
+        pool, index_dtype=None, materialize=False,
     ):
         from repro.core.symbolic import chunk_output_layout
         from repro.kernels import resolve_index_dtype, resolve_value_dtype
@@ -485,17 +639,22 @@ class SharedMemoryPool:
                 ]
             )
             scratch = list(zip(scratch_specs[0::2], scratch_specs[1::2]))
-            pool = self._get_pool(threads)
             futures = [
                 pool.submit(_compute_chunk, (session, j0, j1, s_idx, s_dat))
                 for (j0, j1), (s_idx, s_dat) in zip(ranges, scratch)
             ]
             try:
+                # Both waves collect fail-fast: the first poisoned chunk
+                # cancels what is still queued and raises immediately
+                # instead of draining every sibling first.
+                from repro.parallel.pools import collect_fail_fast
+
                 col_nnz = np.zeros(n, dtype=np.int64)
                 stat_items = []
                 sorted_flags = []
-                for fut in futures:
-                    j0, counts, sub_sorted, st, st_sym = fut.result()
+                for j0, counts, sub_sorted, st, st_sym in collect_fail_fast(
+                    futures
+                ):
                     col_nnz[j0 : j0 + counts.size] = counts
                     stat_items.append((j0, st, st_sym))
                     sorted_flags.append(sub_sorted)
@@ -515,23 +674,36 @@ class SharedMemoryPool:
                     for i in range(threads)
                     if scatter_tasks[i::threads]
                 ]
-                for fut in [
-                    pool.submit(_scatter_chunks, (session, b)) for b in batches
-                ]:
-                    fut.result()
+                collect_fail_fast(
+                    [pool.submit(_scatter_chunks, (session, b)) for b in batches]
+                )
             except BaseException:
                 # Stop touching segments that are about to be unlinked.
                 for fut in futures:
                     fut.cancel()
                 raise
+            owner: Optional[SharedResultOwner] = None
+            if materialize:
+                out_idx_arr = registry.read_out(out_indices)
+                out_dat_arr = registry.read_out(out_data)
+            else:
+                # Zero-copy: hand the output segment to a keep-alive
+                # owner and return views into it — the final memcpy
+                # disappears, and the segment unlinks when the last view
+                # is garbage-collected.  (indices and data share one
+                # packed segment, so one detach covers both.)
+                owner = SharedResultOwner(registry.detach(out_indices.name))
+                out_idx_arr = owner.adopt(out_indices)
+                out_dat_arr = owner.adopt(out_data)
             out = CSCMatrix(
                 (m, n),
                 indptr,
-                registry.read_out(out_indices),
-                registry.read_out(out_data),
+                out_idx_arr,
+                out_dat_arr,
                 sorted=all(sorted_flags),
                 check=False,
             )
+            out.buffer_owner = owner
         finally:
             registry.unlink()
         return out, stat_items
@@ -551,10 +723,11 @@ def shm_parallel_run(
     kwargs: dict,
     threads: int,
     index_dtype=None,
+    materialize: Optional[bool] = None,
 ):
     """Run on the module's default :class:`SharedMemoryPool` engine."""
     return _DEFAULT_ENGINE.run(
         mats, method, ranges,
         sorted_output=sorted_output, kwargs=kwargs, threads=threads,
-        index_dtype=index_dtype,
+        index_dtype=index_dtype, materialize=materialize,
     )

@@ -18,6 +18,21 @@ def pytest_configure(config):
     )
 
 
+def assert_bit_identical(a: CSCMatrix, b: CSCMatrix, label: str = "") -> None:
+    """The cross-executor identity contract: same dtypes, same arrays,
+    values compared bitwise (catches sign-of-zero / last-ulp drift that
+    allclose-style checks would wave through)."""
+    assert a.shape == b.shape, label
+    assert a.indptr.dtype == b.indptr.dtype, label
+    assert a.indices.dtype == b.indices.dtype, label
+    assert a.data.dtype == b.data.dtype, label
+    assert np.array_equal(a.indptr, b.indptr), label
+    assert np.array_equal(a.indices, b.indices), label
+    assert np.array_equal(
+        a.data.view(np.uint8), b.data.view(np.uint8)
+    ), label
+
+
 def random_csc(
     rng: np.random.Generator,
     m: int,

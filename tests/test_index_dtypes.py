@@ -33,6 +33,7 @@ from repro.formats.coo import COOMatrix
 from repro.formats.csc import CSCMatrix
 from repro.formats.csr import CSRMatrix
 from repro.kernels import get_backend
+from tests.conftest import assert_bit_identical
 
 EXECUTORS = ("serial", "thread", "process", "shm")
 PARALLEL_EXECUTORS = ("thread", "process", "shm")
@@ -42,16 +43,6 @@ def run(mats, executor, *, method="hash", threads=3, **kw):
     if executor == "serial":
         return spkadd(mats, method=method, threads=1, **kw)
     return spkadd(mats, method=method, threads=threads, executor=executor, **kw)
-
-
-def assert_bit_identical(a: CSCMatrix, b: CSCMatrix, label=""):
-    assert a.shape == b.shape, label
-    assert a.indptr.dtype == b.indptr.dtype, label
-    assert a.indices.dtype == b.indices.dtype, label
-    assert a.data.dtype == b.data.dtype, label
-    assert np.array_equal(a.indptr, b.indptr), label
-    assert np.array_equal(a.indices, b.indices), label
-    assert np.array_equal(a.data.view(np.uint8), b.data.view(np.uint8)), label
 
 
 def index_collection(input_dtypes, seed=31, shape=(70, 11)):
@@ -421,3 +412,32 @@ class TestOverflowPromotion:
             index_dtype=np.int32,
         )
         assert out.indptr.dtype == np.int64  # 4 entries > lowered capacity
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_concat_results_at_int32_layout_boundary(
+        self, executor, monkeypatch
+    ):
+        """ISSUE-5 satellite regression: ``_concat_results`` stitches
+        chunk ``indptr`` slices (rebased by a global offset) into the
+        call-resolved ``indptr``.  Pin the capacity to *exactly* the
+        call's bound, so the resolution keeps the narrowest width it
+        possibly can and the largest pointer entries land right at the
+        top of the layout — the assignment must cast through the
+        resolved dtype, never wrap."""
+        mats = index_collection([np.int32] * 4, seed=23)
+        total_in = sum(A.nnz for A in mats)
+        ref = run(mats, executor)
+        monkeypatch.setattr(fc, "INT32_INDEX_CAPACITY", total_in)
+        expect = resolve_index_dtype(mats)
+        got = run(mats, executor)
+        assert got.matrix.indptr.dtype == expect, executor
+        assert got.matrix.indices.dtype == expect, executor
+        assert int(got.matrix.indptr[-1]) == got.matrix.nnz
+        assert np.array_equal(got.matrix.indptr, ref.matrix.indptr)
+        assert np.array_equal(got.matrix.indices, ref.matrix.indices)
+        assert np.array_equal(got.matrix.data, ref.matrix.data)
+        # One past the boundary the same call must widen instead.
+        monkeypatch.setattr(fc, "INT32_INDEX_CAPACITY", total_in - 1)
+        wide = run(mats, executor)
+        assert wide.matrix.indptr.dtype == np.int64, executor
+        assert np.array_equal(wide.matrix.indptr, ref.matrix.indptr)

@@ -32,7 +32,11 @@ from repro.parallel.shm import (
     SharedMemoryPool,
     list_live_segments,
 )
-from tests.conftest import random_collection, shuffle_columns
+from tests.conftest import (
+    assert_bit_identical,
+    random_collection,
+    shuffle_columns,
+)
 
 EXECUTORS = ("serial", "thread", "process", "shm")
 PARALLEL_EXECUTORS = ("thread", "process", "shm")
@@ -42,20 +46,6 @@ def run(mats, executor, *, method="hash", threads=3, **kw):
     if executor == "serial":
         return spkadd(mats, method=method, threads=1, **kw)
     return spkadd(mats, method=method, threads=threads, executor=executor, **kw)
-
-
-def assert_bit_identical(a: CSCMatrix, b: CSCMatrix, label=""):
-    assert a.shape == b.shape, label
-    assert a.indptr.dtype == b.indptr.dtype, label
-    assert a.indices.dtype == b.indices.dtype, label
-    assert a.data.dtype == b.data.dtype, label
-    assert np.array_equal(a.indptr, b.indptr), label
-    assert np.array_equal(a.indices, b.indices), label
-    # Bitwise value comparison: catches sign-of-zero / last-ulp drift
-    # that allclose-style checks would wave through.
-    assert np.array_equal(
-        a.data.view(np.uint8), b.data.view(np.uint8)
-    ), label
 
 
 def canonical(mat: CSCMatrix) -> CSCMatrix:
@@ -208,26 +198,51 @@ class TestConformance:
                 assert_bit_identical(ref.matrix, got.matrix)
         assert run(cancel, "shm").matrix.nnz == a.nnz  # zeros kept
 
+    @pytest.mark.parametrize("backend", ["fast", "instrumented"])
+    def test_zero_copy_equals_materialized(self, backend):
+        """ISSUE-5 acceptance: shm zero-copy results are bit-identical
+        to materialized ones (and to the thread pool) on both kernel
+        backends."""
+        mats = random_collection(41, 210, 15, 5)
+        zc = run(mats, "shm", backend=backend)
+        mz = run(mats, "shm", backend=backend, materialize=True)
+        assert zc.matrix.buffer_owner is not None
+        assert mz.matrix.buffer_owner is None
+        assert_bit_identical(zc.matrix, mz.matrix, f"{backend}/materialize")
+        assert_bit_identical(
+            zc.matrix, run(mats, "thread", backend=backend).matrix, backend
+        )
+
 
 class TestShmLifecycle:
-    def test_no_segments_after_success(self):
+    def test_no_segments_after_result_collected(self):
+        """Zero-copy results pin their output segment while referenced;
+        once the result is garbage-collected /dev/shm is empty again."""
+        import gc
+
         mats = random_collection(35, 200, 13, 5)
         before = list_live_segments()
-        run(mats, "shm")
+        res = run(mats, "shm")
+        del res
+        gc.collect()
         assert list_live_segments() == before
 
     def test_non_float64_runs_clean_no_worker_error(self):
         """float32 (and exact int64) through the shm engine: the old
         worker-side dtype-mismatch RuntimeError is gone — the scratch
         and output segments are sized from the resolved value dtype —
-        and the run leaks no segments."""
+        and the run leaks no segments once the result is collected."""
+        import gc
+
         for dtype in (np.float32, np.int64):
             mats = TestConformance.dtype_collection([dtype] * 4, seed=91)
             before = list_live_segments()
             got = run(mats, "shm")  # previously raised RuntimeError
             assert got.matrix.data.dtype == np.dtype(dtype)
-            assert list_live_segments() == before
             assert_bit_identical(got.matrix, run(mats, "thread").matrix)
+            del got
+            gc.collect()
+            assert list_live_segments() == before
 
     def test_no_segments_after_worker_exception(self):
         mats = random_collection(36, 200, 13, 5)
@@ -268,9 +283,17 @@ class TestShmLifecycle:
                 sorted_output=True, kwargs={"backend": "fast"}, threads=2,
             )
         finally:
-            engine.shutdown()
+            # The spawn context makes this pool de-facto private to the
+            # engine; discard it rather than leave its workers in an
+            # LRU slot of the shared registry.
+            engine.shutdown(discard=True)
         assert_bit_identical(out, run(mats, "thread").matrix)
         assert len(stat_items) == len(ranges)
+        # Only the zero-copy result still pins a segment.
+        import gc
+
+        del out
+        gc.collect()
         assert list_live_segments() == []
 
 
@@ -305,6 +328,27 @@ class TestExecutorSelection:
         assert resolve_executor(None) == "shm"
         assert resolve_executor("process") == "process"  # explicit wins
         with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("rocketship")
+
+    def test_resolve_executor_error_names_source(self, monkeypatch):
+        """A bad name is blamed on where it came from: the kwarg or the
+        REPRO_EXECUTOR environment variable (satellite regression — the
+        two used to raise indistinguishable messages)."""
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        with pytest.raises(ValueError, match="executor argument"):
+            resolve_executor("rocketship")
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "warp-drive")
+        with pytest.raises(
+            ValueError, match=f"{EXECUTOR_ENV_VAR} environment variable"
+        ):
+            resolve_executor(None)
+        with pytest.raises(
+            ValueError, match=f"{EXECUTOR_ENV_VAR} environment variable"
+        ):
+            resolve_executor("auto")
+        # An explicit bad argument is blamed on the argument even while
+        # the environment variable is also bad.
+        with pytest.raises(ValueError, match="executor argument"):
             resolve_executor("rocketship")
 
     def test_env_override_routes_spkadd(self, monkeypatch):
