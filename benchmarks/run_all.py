@@ -210,6 +210,47 @@ def main(argv=None) -> int:
         print(f"  er_k8_n65536_{leg:12s} hash fast shm "
               f"T={exec_threads} {result_wall[leg] * 1e3:9.1f} ms")
 
+    # Resilience-overhead series: the same happy-path shm workload with
+    # the resilience layer at its default policy (retry budget, fallback
+    # chain armed, a generous deadline) vs ResiliencePolicy.disabled().
+    # No fault fires on either leg, so the ratio isolates the layer's
+    # bookkeeping — per-attempt fault lookups, deadline checks, the
+    # retry loop's wave accounting.  Paired legs cancel machine drift.
+    from repro.parallel.resilience import ResiliencePolicy
+
+    print(f"resilience series: hash/fast shm, policy on vs off, "
+          f"T={exec_threads} (paired)")
+    resil_legs = {
+        "enabled": ResiliencePolicy(deadline_s=600.0),
+        "disabled": ResiliencePolicy.disabled(),
+    }
+    resil_wall = {name: float("inf") for name in resil_legs}
+    for _ in range(max(args.repeats, 8)):
+        for leg, policy in resil_legs.items():
+            t0 = time.perf_counter()
+            resil_res = repro.spkadd(
+                er, method="hash", threads=exec_threads, executor="shm",
+                backend="fast", resilience=policy,
+            )
+            resil_wall[leg] = min(
+                resil_wall[leg], time.perf_counter() - t0
+            )
+    for leg in ("enabled", "disabled"):
+        records.append({
+            "workload": f"er_k8_n65536_resil_{leg}",
+            "method": "hash",
+            "backend": "fast",
+            "executor": "shm",
+            "threads": exec_threads,
+            "wall_s": round(resil_wall[leg], 6),
+            "input_nnz": sum(A.nnz for A in er),
+            "output_nnz": resil_res.matrix.nnz,
+            "ops": float(resil_res.stats.ops),
+            "probes": float(resil_res.stats.probes),
+        })
+        print(f"  er_k8_n65536_resil_{leg:8s} hash fast shm "
+              f"T={exec_threads} {resil_wall[leg] * 1e3:9.1f} ms")
+
     # Dtype series: the identical workload with float32 values through
     # the shm engine — the value pipeline preserves the narrow dtype end
     # to end, halving the bytes published/staged/scattered per entry.
@@ -348,8 +389,15 @@ def main(argv=None) -> int:
     print(f"hash shm int32-vs-int64 index speedup (k=16, m=2^16, d=32, "
           f"float32 values, T=2): {idx_speedup}x")
 
+    resilience_ratio = (
+        round(resil_wall["disabled"] / resil_wall["enabled"], 2)
+        if resil_wall["enabled"] not in (0, float("inf")) else None
+    )
+    print(f"resilience happy-path overhead ratio (disabled/enabled wall, "
+          f"shm, T={exec_threads}): {resilience_ratio}")
+
     payload = {
-        "schema": 5,
+        "schema": 6,
         "preset": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -362,6 +410,7 @@ def main(argv=None) -> int:
             "hash_shm_int32_vs_int64_index_speedup": idx_speedup,
             "hash_process_persistent_vs_cold_pool_speedup": persist_speedup,
             "hash_shm_zero_copy_result_speedup": zerocopy_speedup,
+            "resilience_overhead_ratio": resilience_ratio,
         },
         "results": records,
     }

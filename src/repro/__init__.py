@@ -30,8 +30,16 @@ from repro.core.stats import KernelStats
 from repro.formats import CSCMatrix, CSRMatrix, COOMatrix
 from repro.kernels import available_backends, get_backend
 from repro.parallel.pools import shutdown_pools
+from repro.parallel.resilience import (
+    DeadlineExceeded,
+    ExecutorUnusable,
+    PoolBootTimeout,
+    ResiliencePolicy,
+    RetriesExhausted,
+)
+from repro.parallel.shm import sweep_orphans
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SpKAddResult",
@@ -40,6 +48,12 @@ __all__ = [
     "get_backend",
     "spkadd",
     "shutdown_pools",
+    "sweep_orphans",
+    "ResiliencePolicy",
+    "DeadlineExceeded",
+    "ExecutorUnusable",
+    "PoolBootTimeout",
+    "RetriesExhausted",
     "KernelStats",
     "CSCMatrix",
     "CSRMatrix",

@@ -51,6 +51,23 @@ def _cmd_demo(args) -> int:
           f"materialize={placement}]")
     from repro.core.api import BACKEND_AWARE_METHODS
 
+    resilience = None
+    if args.max_retries is not None or args.fallback != "auto":
+        from repro.parallel.resilience import ResiliencePolicy
+
+        fallback = None
+        if args.fallback == "off":
+            fallback = ()
+        elif args.fallback != "auto":
+            fallback = tuple(
+                s.strip() for s in args.fallback.split(",") if s.strip()
+            )
+        resilience = ResiliencePolicy(
+            max_retries=(
+                args.max_retries if args.max_retries is not None else 2
+            ),
+            fallback=fallback,
+        )
     for method in repro.available_methods():
         res = repro.spkadd(
             mats, method=method, threads=args.threads,
@@ -58,6 +75,8 @@ def _cmd_demo(args) -> int:
             value_dtype=value_dtype,
             index_dtype=index_dtype,
             materialize=materialize,
+            deadline=args.deadline,
+            resilience=resilience,
             backend=args.backend if method in BACKEND_AWARE_METHODS else None,
         )
         print(f"  {method:20s} nnz={res.matrix.nnz:<9d} "
@@ -146,13 +165,29 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="accumulation engine for hash-family methods "
                         "(auto = REPRO_BACKEND env var, then 'fast')")
-    d.add_argument("--executor", choices=["auto", "thread", "process", "shm"],
+    d.add_argument("--executor",
+                   choices=["auto", "thread", "process", "shm", "serial"],
                    default="auto",
                    help="worker pool flavour when --threads > 1: thread, "
-                        "process (pickled chunks), or shm (zero-copy "
-                        "shared memory); auto = REPRO_EXECUTOR env var, "
+                        "process (pickled chunks), shm (zero-copy "
+                        "shared memory), or serial (in-process loop, the "
+                        "fallback floor); auto = REPRO_EXECUTOR env var, "
                         "then 'thread'")
     d.add_argument("--threads", type=int, default=1)
+    d.add_argument("--deadline", type=float, default=None,
+                   help="per-call time budget in seconds for parallel "
+                        "calls; expiry raises DeadlineExceeded "
+                        "(REPRO_DEADLINE sets the session default)")
+    d.add_argument("--max-retries", type=int, default=None,
+                   help="chunk retry budget for transient failures (dead "
+                        "workers, injected faults); default 2, "
+                        "REPRO_MAX_RETRIES sets the session default")
+    d.add_argument("--fallback", default="auto",
+                   help="executor degradation chain: 'auto' (full "
+                        "shm>process>thread>serial chain), 'off' (fail "
+                        "instead of degrading), or a comma list of "
+                        "allowed stages (REPRO_FALLBACK sets the "
+                        "session default)")
     d.add_argument("--value-dtype",
                    choices=["auto", "float32", "float64", "int32", "int64"],
                    default="auto",

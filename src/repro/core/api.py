@@ -113,6 +113,8 @@ def spkadd(
     value_dtype=None,
     index_dtype=None,
     materialize: Optional[bool] = None,
+    deadline=None,
+    resilience=None,
     **kwargs,
 ) -> SpKAddResult:
     """Add a collection of sparse matrices: ``B = sum_i A_i``.
@@ -199,6 +201,17 @@ def spkadd(
         unlinked (the pre-zero-copy contract; ``matrix.materialize()``
         converts after the fact).  Ignored by the serial path and the
         thread/process executors, whose results are always private.
+    deadline:
+        Per-call time budget in seconds (parallel calls only).  Expiry
+        raises :class:`~repro.parallel.resilience.DeadlineExceeded`,
+        cancels outstanding chunks, and releases pool leases and shared
+        segments.  ``None`` consults ``REPRO_DEADLINE``.
+    resilience:
+        A :class:`~repro.parallel.resilience.ResiliencePolicy`
+        overriding the retry/backoff/deadline/fallback behaviour of
+        parallel calls.  ``None`` resolves from the environment
+        (``REPRO_MAX_RETRIES``, ``REPRO_DEADLINE``, ``REPRO_FALLBACK``);
+        ``ResiliencePolicy.disabled()`` turns the layer off.
 
     Returns
     -------
@@ -235,7 +248,8 @@ def spkadd(
         return parallel_spkadd(
             mats, method, threads=threads, sorted_output=sorted_output,
             executor=executor, index_dtype=index_dtype,
-            materialize=materialize, **kwargs
+            materialize=materialize, deadline=deadline,
+            resilience=resilience, **kwargs
         )
     if method == "sliding_hash" and "cache_bytes" in kwargs:
         kwargs.setdefault("threads", threads)

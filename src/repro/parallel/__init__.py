@@ -19,7 +19,14 @@ hash table) and a disjoint set of columns.  This subpackage provides
   result ownership (:class:`~repro.parallel.shm.SharedResultOwner`);
 * :mod:`~repro.parallel.pools` — the persistent worker-pool registry
   both process-based executors draw from
-  (:func:`~repro.parallel.pools.shutdown_pools` tears it down).
+  (:func:`~repro.parallel.pools.shutdown_pools` tears it down);
+* :mod:`~repro.parallel.resilience` — the resilient-execution policy
+  (chunk retry, per-call deadlines, the ``shm → process → thread →
+  serial`` fallback chain) every parallel call runs under;
+* :mod:`~repro.parallel.faults` — env/API-driven fault injection
+  (worker kills, chunk delays, scatter failures, ENOSPC, boot hangs)
+  for the chaos suite and for embedders validating their own
+  supervision.
 """
 
 from repro.parallel.partition import (
@@ -55,12 +62,50 @@ from repro.parallel.shm import (
     SharedResultOwner,
     list_live_segments,
     resolve_shm_results,
+    sweep_orphans,
 )
+from repro.parallel.resilience import (
+    BOOT_TIMEOUT_ENV_VAR,
+    DEADLINE_ENV_VAR,
+    Deadline,
+    DeadlineExceeded,
+    ExecutorUnusable,
+    FALLBACK_ENV_VAR,
+    FALLBACK_STAGES,
+    MAX_RETRIES_ENV_VAR,
+    PoolBootTimeout,
+    ResilienceError,
+    ResiliencePolicy,
+    RetriesExhausted,
+    ShmAllocationError,
+    resolve_policy,
+)
+from repro.parallel import faults
+from repro.parallel.faults import FAULTS_ENV_VAR, FaultPlan, InjectedFault
 
 __all__ = [
     "EXECUTOR_ENV_VAR",
     "EXECUTORS",
     "resolve_executor",
+    "BOOT_TIMEOUT_ENV_VAR",
+    "DEADLINE_ENV_VAR",
+    "Deadline",
+    "DeadlineExceeded",
+    "ExecutorUnusable",
+    "FALLBACK_ENV_VAR",
+    "FALLBACK_STAGES",
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "InjectedFault",
+    "MAX_RETRIES_ENV_VAR",
+    "PoolBootTimeout",
+    "ResilienceError",
+    "ResiliencePolicy",
+    "RetriesExhausted",
+    "ShmAllocationError",
+    "faults",
+    "resolve_policy",
+    "sweep_orphans",
     "PoolRegistry",
     "active_pools",
     "discard_pool",

@@ -28,8 +28,22 @@ flavours:
     workers scatter their chunks straight into one preallocated shared
     CSC buffer — no per-chunk pickling, no gather concatenate.
 
+``executor="serial"``
+    The degenerate pool: chunks run in a plain in-process loop.  Exists
+    as the floor of the resilience layer's fallback chain (nothing can
+    crash but the caller), and as an explicit choice for debugging.
+
 ``executor=None`` (or ``"auto"``) consults the ``REPRO_EXECUTOR``
 environment variable, then defaults to ``"thread"``.
+
+Resilience (:mod:`repro.parallel.resilience`): every parallel call runs
+under a :class:`~repro.parallel.resilience.ResiliencePolicy` — chunks
+whose worker dies are retried on a rebuilt pool (bounded, with
+backoff), a per-call ``deadline=`` / ``REPRO_DEADLINE`` bounds the
+whole call, and an executor found *unusable* (boot timeout, retry
+budget exhausted, ``/dev/shm`` full) degrades down the chain
+``shm → process → thread → serial`` with a one-shot warning
+(``REPRO_FALLBACK`` controls the chain).
 
 The *shape* of scaling behaviour at paper fidelity comes from
 ``simulate_parallel_time``, which the machine cost model uses for Fig 3.
@@ -40,6 +54,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence, Tuple
@@ -57,7 +73,7 @@ _TWO_PHASE = {"hash", "sliding_hash"}
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
 
 #: names accepted by ``executor=``.
-EXECUTORS = ("thread", "process", "shm")
+EXECUTORS = ("thread", "process", "shm", "serial")
 
 #: executors whose workers run in separate processes; they all reject
 #: ``trace_sink`` (worker-side appends never reach the caller's list).
@@ -85,8 +101,8 @@ def _package_root() -> str:
     return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
 
-def _ensure_forkserver_running() -> None:
-    """Boot the fork server with this package importable.
+def _ensure_forkserver_running(deadline=None) -> None:
+    """Boot the fork server with this package importable, bounded.
 
     CPython's fork server is launched as a bare ``python -c`` process:
     it receives the parent's ``sys.path`` but (through 3.11) never
@@ -101,36 +117,86 @@ def _ensure_forkserver_running() -> None:
     runs **once per process**: the patch-and-restore is serialized by a
     module lock (concurrent acquisitions cannot interleave their
     snapshots and corrupt the real ``PYTHONPATH``) and a booted flag
-    keeps later pool acquisitions off this path entirely — the brief
-    window in which an unrelated thread spawning a subprocess could
-    inherit the patched value exists once per process, not per call.
-    (If the server is later killed, multiprocessing's own lazy
+    keeps later pool acquisitions off this path entirely.  (If the
+    server is later killed, multiprocessing's own lazy
     ``ensure_running`` revives it — without the preload, slower forks,
     but correct.)
+
+    The boot is **bounded**: it runs on a helper thread joined with a
+    timeout (``REPRO_BOOT_TIMEOUT``, further clipped by the call's
+    deadline).  A wedged fork server used to hang ``get_pool`` forever;
+    now it raises a typed
+    :class:`~repro.parallel.resilience.PoolBootTimeout`, which the
+    fallback chain turns into a thread- or serial-stage answer.
     """
     global _FORKSERVER_BOOTED
     if _FORKSERVER_BOOTED:
         return
-    from multiprocessing import forkserver
+    from repro.parallel import faults
+    from repro.parallel.resilience import (
+        Deadline,
+        PoolBootTimeout,
+        resolve_boot_timeout,
+    )
 
-    with _FORKSERVER_BOOT_LOCK:
-        if _FORKSERVER_BOOTED:
-            return
-        old = os.environ.get("PYTHONPATH")
-        os.environ["PYTHONPATH"] = os.pathsep.join(
-            [_package_root()] + ([old] if old else [])
-        )
+    deadline = Deadline.resolve(deadline)
+    timeout = resolve_boot_timeout()
+    rem = deadline.remaining()
+    bounded = timeout if rem is None else min(timeout, rem)
+    plan = faults.plan_for_call()
+    hang_s = plan.take_boot_hang() if plan is not None else 0.0
+    done = threading.Event()
+    boot_error: list = []
+
+    def boot() -> None:
+        global _FORKSERVER_BOOTED
         try:
-            forkserver.ensure_running()
+            from multiprocessing import forkserver
+
+            if hang_s:
+                time.sleep(hang_s)
+            with _FORKSERVER_BOOT_LOCK:
+                if not _FORKSERVER_BOOTED:
+                    old = os.environ.get("PYTHONPATH")
+                    os.environ["PYTHONPATH"] = os.pathsep.join(
+                        [_package_root()] + ([old] if old else [])
+                    )
+                    try:
+                        forkserver.ensure_running()
+                    finally:
+                        if old is None:
+                            del os.environ["PYTHONPATH"]
+                        else:
+                            os.environ["PYTHONPATH"] = old
+                    _FORKSERVER_BOOTED = True
+        except BaseException as err:  # surfaced to the waiting caller
+            boot_error.append(err)
         finally:
-            if old is None:
-                del os.environ["PYTHONPATH"]
-            else:
-                os.environ["PYTHONPATH"] = old
-        _FORKSERVER_BOOTED = True
+            done.set()
+
+    thread = threading.Thread(
+        target=boot, name="repro-forkserver-boot", daemon=True
+    )
+    thread.start()
+    if not done.wait(bounded):
+        # The boot thread keeps running; if it eventually succeeds the
+        # booted flag spares future calls.  This call gives up now.
+        deadline.check("forkserver boot")
+        raise PoolBootTimeout(
+            f"fork server did not boot within {bounded:.1f}s "
+            f"({BOOT_TIMEOUT_HINT})",
+            executor="process",
+        )
+    if boot_error:
+        raise boot_error[0]
 
 
-def mp_context():
+#: referenced from the boot-timeout message without importing resilience
+#: at module scope.
+BOOT_TIMEOUT_HINT = "REPRO_BOOT_TIMEOUT overrides the bound"
+
+
+def mp_context(deadline=None):
     """Multiprocessing context for the process-based executors.
 
     Defaults to ``forkserver`` where available: a bare ``fork`` from a
@@ -140,7 +206,8 @@ def mp_context():
     PR 3.  The fork server is single-threaded, so its forks are safe;
     workers still share pages with it (cheap startup), unlike ``spawn``.
     ``REPRO_MP_START`` overrides (e.g. ``fork`` to recover the old
-    behaviour, ``spawn`` to mimic Windows/macOS).
+    behaviour, ``spawn`` to mimic Windows/macOS).  ``deadline`` bounds
+    the (first-call-only) forkserver boot.
     """
     name = os.environ.get(MP_START_ENV_VAR)
     if not name:
@@ -153,7 +220,7 @@ def mp_context():
         # instead of re-importing the stack — without this, a fresh
         # per-call process pool pays ~1s of import per worker.
         ctx.set_forkserver_preload(["repro.parallel.executor"])
-        _ensure_forkserver_running()
+        _ensure_forkserver_running(deadline)
     return ctx
 
 
@@ -261,6 +328,229 @@ def _run_chunk(
     return j0, out, st, None
 
 
+def _run_chunk_faulted(fault, method, j0, views, sorted_output, kwargs):
+    """:func:`_run_chunk` behind an injection point — submitted instead
+    of the plain runner when the call's fault plan targets this chunk."""
+    from repro.parallel.faults import apply_chunk_fault
+
+    apply_chunk_fault(fault)
+    return _run_chunk(method, j0, views, sorted_output, kwargs)
+
+
+#: set once the first executor fallback of the process has been
+#: reported; later degradations are silent (the warning is a heads-up,
+#: not a per-call log channel).
+_FALLBACK_WARNED = False
+
+
+def _warn_fallback(from_stage: str, to_stage: str, err) -> None:
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        f"executor {from_stage!r} is unusable ({err}); falling back to "
+        f"{to_stage!r} for this and future affected calls (set "
+        "REPRO_FALLBACK=off to fail instead; this warning is shown once "
+        "per process)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _submit_chunk(pool, mats, method, ranges, i, sorted_output, kwargs, plan,
+                  *, can_kill):
+    """Submit chunk ``i`` of ``ranges`` to ``pool``, attaching any fault
+    the plan holds for it (faults are consumed: a retried chunk comes
+    back clean)."""
+    j0, j1 = ranges[i]
+    views = [A.col_view(j0, j1) for A in mats]
+    fault = (
+        plan.take_chunk_fault(i, can_kill=can_kill)
+        if plan is not None else None
+    )
+    if fault:
+        return pool.submit(
+            _run_chunk_faulted, fault, method, j0, views, sorted_output,
+            kwargs,
+        )
+    return pool.submit(_run_chunk, method, j0, views, sorted_output, kwargs)
+
+
+def _process_chunks(mats, method, ranges, *, sorted_output, kwargs, threads,
+                    policy, deadline, plan):
+    """Chunk execution on the persistent pickling process pool, with
+    chunk-level retry: a wave interrupted by a dead worker keeps its
+    completed results, discards the poisoned pool, and re-submits only
+    the unfinished chunks to a rebuilt one."""
+    from repro.parallel.pools import discard_pool, lease_pool, pool_is_broken
+    from repro.parallel.resilience import RetriesExhausted, collect_resilient
+
+    results: dict = {}
+    pending = list(range(len(ranges)))
+    attempt = 0
+    while pending:
+        deadline.check("process-pool chunk execution")
+        transient = None
+        with lease_pool("process", threads, deadline=deadline) as pool:
+            try:
+                futures = {
+                    i: _submit_chunk(
+                        pool, mats, method, ranges, i, sorted_output,
+                        kwargs, plan, can_kill=True,
+                    )
+                    for i in pending
+                }
+                got, pending, transient = collect_resilient(
+                    futures, deadline=deadline
+                )
+                results.update(got)
+            except BrokenProcessPool as err:
+                # The pool broke at submit time (poisoned by an earlier
+                # wave): everything outstanding is retryable.
+                transient = err
+                pending = [i for i in pending if i not in results]
+            finally:
+                if pool_is_broken(pool):
+                    # Drop the corpse so the next lease forks clean.
+                    discard_pool(pool)
+        if pending:
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise RetriesExhausted(
+                    f"process executor: {len(pending)} chunk(s) still "
+                    f"failing transiently after {policy.max_retries} "
+                    "retries",
+                    executor="process",
+                ) from transient
+            from repro.parallel.shm import sweep_orphans
+
+            sweep_orphans()
+            deadline.sleep(policy.backoff_s(attempt))
+    return [results[i] for i in range(len(ranges))]
+
+
+def _thread_chunks(mats, method, ranges, *, sorted_output, kwargs, threads,
+                   policy, deadline, plan):
+    """Chunk execution on a thread pool.  Threads cannot crash like
+    workers, but injected transients are retried and the deadline is
+    enforced on every wait — the default executor honours
+    ``REPRO_DEADLINE`` too."""
+    from repro.parallel.resilience import RetriesExhausted, collect_resilient
+
+    results: dict = {}
+    pending = list(range(len(ranges)))
+    attempt = 0
+    pool = ThreadPoolExecutor(max_workers=threads)
+    try:
+        while pending:
+            deadline.check("thread-pool chunk execution")
+            futures = {
+                i: _submit_chunk(
+                    pool, mats, method, ranges, i, sorted_output, kwargs,
+                    plan, can_kill=False,
+                )
+                for i in pending
+            }
+            got, pending, transient = collect_resilient(
+                futures, deadline=deadline
+            )
+            results.update(got)
+            if pending:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise RetriesExhausted(
+                        f"thread executor: {len(pending)} chunk(s) still "
+                        f"failing transiently after {policy.max_retries} "
+                        "retries",
+                        executor="thread",
+                    ) from transient
+                deadline.sleep(policy.backoff_s(attempt))
+    except BaseException:
+        # Do not join chunks still running (a delayed chunk must not
+        # hold a DeadlineExceeded past the deadline); they finish on
+        # daemonless pool threads and are discarded.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return [results[i] for i in range(len(ranges))]
+
+
+def _serial_chunks(mats, method, ranges, *, sorted_output, kwargs,
+                   policy, deadline, plan):
+    """The fallback floor: chunks run in-process, one after another.
+    No pool exists to break; injected transients are retried in place
+    and the deadline is checked between chunks (a running kernel cannot
+    be interrupted)."""
+    from repro.parallel.faults import InjectedFault, apply_chunk_fault
+    from repro.parallel.resilience import RetriesExhausted
+
+    results = []
+    for i, (j0, j1) in enumerate(ranges):
+        views = [A.col_view(j0, j1) for A in mats]
+        attempt = 0
+        while True:
+            deadline.check("serial chunk execution")
+            fault = (
+                plan.take_chunk_fault(i, can_kill=False)
+                if plan is not None else None
+            )
+            try:
+                apply_chunk_fault(fault)
+                results.append(
+                    _run_chunk(method, j0, views, sorted_output, kwargs)
+                )
+                break
+            except InjectedFault as err:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise RetriesExhausted(
+                        f"serial executor: chunk {i} still failing "
+                        f"transiently after {policy.max_retries} retries",
+                        executor="serial",
+                    ) from err
+                deadline.sleep(policy.backoff_s(attempt))
+    return results
+
+
+def _execute_stage(stage, mats, method, ranges, *, sorted_output, kwargs,
+                   threads, index_dtype, materialize, policy, deadline,
+                   plan):
+    """Run the call on one fallback stage.
+
+    Returns ``(out, stat_items, parts)``: the shm stage assembles its
+    own output matrix (``parts`` is None); the others return per-chunk
+    matrices for :func:`_concat_results`.
+    """
+    if stage == "shm":
+        from repro.parallel.shm import shm_parallel_run
+
+        out, stat_items = shm_parallel_run(
+            mats, method, ranges,
+            sorted_output=sorted_output, kwargs=kwargs, threads=threads,
+            index_dtype=index_dtype, materialize=materialize,
+            policy=policy, deadline=deadline, fault_plan=plan,
+        )
+        return out, stat_items, None
+    common = dict(
+        sorted_output=sorted_output, kwargs=kwargs,
+        policy=policy, deadline=deadline, plan=plan,
+    )
+    if stage == "process":
+        results = _process_chunks(
+            mats, method, ranges, threads=threads, **common
+        )
+    elif stage == "thread":
+        results = _thread_chunks(
+            mats, method, ranges, threads=threads, **common
+        )
+    else:
+        results = _serial_chunks(mats, method, ranges, **common)
+    stat_items = [(j0, st, st_sym) for j0, _, st, st_sym in results]
+    parts = [(j0, sub) for j0, sub, _, _ in results]
+    return None, stat_items, parts
+
+
 def parallel_spkadd(
     mats: Sequence[CSCMatrix],
     method: str = "hash",
@@ -271,27 +561,42 @@ def parallel_spkadd(
     executor: Optional[str] = None,
     index_dtype=None,
     materialize: Optional[bool] = None,
+    deadline=None,
+    resilience=None,
     **kwargs,
 ):
     """Column-parallel SpKAdd (paper Section III-A).
 
     Columns are divided into ``threads * chunks_per_thread`` contiguous
     chunks of near-equal *input nnz* (the dynamic-balancing weight) and
-    executed on a thread, process, or shared-memory pool (``executor=``;
-    ``None``/``"auto"`` consults ``REPRO_EXECUTOR`` then uses
-    ``"thread"``).  Per-chunk stats are merged; the result is
+    executed on a thread, process, shared-memory, or serial pool
+    (``executor=``; ``None``/``"auto"`` consults ``REPRO_EXECUTOR`` then
+    uses ``"thread"``).  Per-chunk stats are merged; the result is
     bit-identical to the sequential method.  ``index_dtype`` pins the
     output index width (default: the call-level int32-when-it-fits
     rule, identical to the serial kernels').  ``materialize`` controls
     shm result placement (see :func:`repro.parallel.shm.resolve_shm_results`);
     the thread and process executors always return private arrays.
 
-    Both process-based executors draw persistent workers from
-    :mod:`repro.parallel.pools` and fail fast: the first chunk error
-    cancels everything still queued and propagates immediately.
+    The call runs under a :class:`~repro.parallel.resilience.ResiliencePolicy`
+    (``resilience=``, default resolved from the environment): chunks
+    whose worker dies are retried on a rebuilt pool, ``deadline=`` (or
+    ``REPRO_DEADLINE``) bounds the whole call with a typed
+    :class:`~repro.parallel.resilience.DeadlineExceeded`, and an
+    executor found unusable degrades down the fallback chain
+    ``shm → process → thread → serial`` with a one-shot warning.
+    *Deterministic* chunk errors keep PR 5's fail-fast contract: the
+    first one cancels everything still queued and propagates
+    immediately, on every stage.
     """
     # Deferred: repro.core.api imports this module's caller chain.
     from repro.core.api import BACKEND_AWARE_METHODS, SpKAddResult, _REGISTRY
+    from repro.parallel import faults
+    from repro.parallel.resilience import (
+        Deadline,
+        ExecutorUnusable,
+        resolve_policy,
+    )
 
     if method not in _REGISTRY:
         raise ValueError(f"unknown method {method!r}")
@@ -319,54 +624,33 @@ def parallel_spkadd(
         (j0, j1) for j0, j1 in split_weighted(weights, n_chunks) if j1 > j0
     ]
 
+    policy = resolve_policy(resilience, deadline=deadline)
+    dl = Deadline(policy.deadline_s)
+    plan = faults.plan_for_call()
+    chain = policy.chain_for(executor)
+
     out: Optional[CSCMatrix] = None
-    if executor == "shm":
-        from repro.parallel.shm import shm_parallel_run
-
-        out, stat_items = shm_parallel_run(
-            mats, method, ranges,
-            sorted_output=sorted_output, kwargs=kwargs, threads=threads,
-            index_dtype=index_dtype, materialize=materialize,
-        )
-    else:
-        results = []
-        if executor == "process":
-            from repro.parallel.pools import (
-                collect_fail_fast,
-                discard_pool,
-                lease_pool,
+    parts = None
+    stat_items = None
+    for pos, stage in enumerate(chain):
+        dl.check(f"start of {stage!r} executor stage")
+        try:
+            out, stat_items, parts = _execute_stage(
+                stage, mats, method, ranges,
+                sorted_output=sorted_output, kwargs=kwargs,
+                threads=threads, index_dtype=index_dtype,
+                materialize=materialize, policy=policy, deadline=dl,
+                plan=plan,
             )
+            break
+        except ExecutorUnusable as err:
+            # DeadlineExceeded is NOT caught: an expired budget fails
+            # the call; only a broken *stage* falls through to the next.
+            if pos + 1 >= len(chain):
+                raise
+            _warn_fallback(stage, chain[pos + 1], err)
 
-            with lease_pool("process", threads) as pool:
-                futures = [
-                    pool.submit(
-                        _run_chunk,
-                        method,
-                        j0,
-                        [A.col_view(j0, j1) for A in mats],
-                        sorted_output,
-                        kwargs,
-                    )
-                    for j0, j1 in ranges
-                ]
-                try:
-                    results = collect_fail_fast(futures)
-                except BrokenProcessPool:
-                    # A dead worker poisons the executor; drop it from
-                    # the registry so the next call starts clean.
-                    discard_pool(pool)
-                    raise
-        else:
-            def work(rng):
-                j0, j1 = rng
-                views = [A.col_view(j0, j1) for A in mats]
-                return _run_chunk(method, j0, views, sorted_output, kwargs)
-
-            with ThreadPoolExecutor(max_workers=threads) as pool:
-                for item in pool.map(work, ranges):
-                    results.append(item)
-        stat_items = [(j0, st, st_sym) for j0, _, st, st_sym in results]
-
+    dl.check("result assembly")
     merged = KernelStats(algorithm=f"{method}[T={threads}]")
     merged_sym: Optional[KernelStats] = (
         KernelStats(algorithm=f"{method}_symbolic[T={threads}]")
@@ -397,9 +681,7 @@ def parallel_spkadd(
     merged.k = len(mats)
     merged.n_cols = n
     if out is None:
-        out = _concat_results(
-            mats, [(j0, sub) for j0, sub, _, _ in results], index_dtype
-        )
+        out = _concat_results(mats, parts, index_dtype)
     return SpKAddResult(out, merged, merged_sym, method=method)
 
 

@@ -93,22 +93,25 @@ class PoolRegistry:
         self._max_per_kind = max(int(max_pools_per_kind), 1)
 
     def get(
-        self, kind: str, threads: int, mp_context=None
+        self, kind: str, threads: int, mp_context=None, *, deadline=None
     ) -> ProcessPoolExecutor:
         """The persistent pool for ``(kind, threads, start-method)``,
         created on first use and reused until discarded or evicted.
 
         ``mp_context=None`` resolves the repo default
         (:func:`repro.parallel.executor.mp_context` — forkserver where
-        available).  A pool found already broken is replaced with a
-        fresh one before being handed out.  Callers that submit work in
-        multiple waves should prefer :meth:`lease`, which additionally
-        pins the pool against LRU eviction for the duration.
+        available; ``deadline`` bounds its first-call boot).  A pool
+        found already broken is replaced with a fresh one before being
+        handed out.  Callers that submit work in multiple waves should
+        prefer :meth:`lease`, which additionally pins the pool against
+        LRU eviction for the duration.
         """
-        return self._acquire(kind, threads, mp_context, leased=False)
+        return self._acquire(
+            kind, threads, mp_context, leased=False, deadline=deadline
+        )
 
     @contextlib.contextmanager
-    def lease(self, kind: str, threads: int, mp_context=None):
+    def lease(self, kind: str, threads: int, mp_context=None, *, deadline=None):
         """Context manager checking the pool out for one call.
 
         While leased, the pool cannot be LRU-evicted by concurrent
@@ -116,7 +119,9 @@ class PoolRegistry:
         its pool shut down between two submit waves and fail with
         ``RuntimeError`` despite healthy workers.
         """
-        pool = self._acquire(kind, threads, mp_context, leased=True)
+        pool = self._acquire(
+            kind, threads, mp_context, leased=True, deadline=deadline
+        )
         try:
             yield pool
         finally:
@@ -136,15 +141,16 @@ class PoolRegistry:
                 to_close.shutdown(wait=False)
 
     def _acquire(
-        self, kind, threads, mp_context, *, leased: bool
+        self, kind, threads, mp_context, *, leased: bool, deadline=None
     ) -> ProcessPoolExecutor:
         if mp_context is None:
             # Deferred: executor imports this module.
             from repro.parallel.executor import mp_context as default_context
 
-            mp_context = default_context()
+            mp_context = default_context(deadline=deadline)
         key = (str(kind), int(threads), mp_context.get_start_method())
         evicted = []
+        rebuilt = False
         with self._lock:
             pool = self._pools.pop(key, None)
             if pool is not None and pool_is_broken(pool):
@@ -153,6 +159,7 @@ class PoolRegistry:
                 pool.shutdown(wait=False, cancel_futures=True)
                 self._leases.pop(pool, None)
                 pool = None
+                rebuilt = True
             if pool is None:
                 pool = ProcessPoolExecutor(
                     max_workers=int(threads), mp_context=mp_context
@@ -174,6 +181,13 @@ class PoolRegistry:
             # No cancel: futures already submitted to an evicted pool
             # complete — the workers drain the queue and then exit.
             old.shutdown(wait=False)
+        if rebuilt:
+            # A worker died hard; it may have orphaned shared segments
+            # (e.g. the shm engine's scratch mid-write).  Sweep outside
+            # the registry lock — unlinking is slow-path filesystem work.
+            from repro.parallel.shm import sweep_orphans
+
+            sweep_orphans()
         return pool
 
     def discard(self, pool: ProcessPoolExecutor, *, wait: bool = False) -> None:
@@ -263,16 +277,18 @@ def collect_fail_fast(futures: Sequence[Future]) -> List:
 _DEFAULT_REGISTRY = PoolRegistry()
 
 
-def get_pool(kind: str, threads: int, mp_context=None) -> ProcessPoolExecutor:
+def get_pool(
+    kind: str, threads: int, mp_context=None, *, deadline=None
+) -> ProcessPoolExecutor:
     """Persistent pool from the default registry (see :class:`PoolRegistry`)."""
-    return _DEFAULT_REGISTRY.get(kind, threads, mp_context)
+    return _DEFAULT_REGISTRY.get(kind, threads, mp_context, deadline=deadline)
 
 
-def lease_pool(kind: str, threads: int, mp_context=None):
+def lease_pool(kind: str, threads: int, mp_context=None, *, deadline=None):
     """Check a persistent pool out of the default registry for one call
     (context manager; pins the pool against LRU eviction — see
     :meth:`PoolRegistry.lease`)."""
-    return _DEFAULT_REGISTRY.lease(kind, threads, mp_context)
+    return _DEFAULT_REGISTRY.lease(kind, threads, mp_context, deadline=deadline)
 
 
 def discard_pool(pool: ProcessPoolExecutor, *, wait: bool = False) -> None:

@@ -51,10 +51,23 @@ still ends empty once the result is garbage-collected.
 ``spkadd(..., materialize=True)`` (or ``REPRO_SHM_RESULTS=materialize``)
 restores the private-copy behaviour for callers whose results must
 outlive any shared-memory bookkeeping.
+
+Resilience: both submit waves retry transiently failed chunks on a
+rebuilt pool under the call's
+:class:`~repro.parallel.resilience.ResiliencePolicy` — safe because
+every staged write is **idempotent by construction** (each chunk owns a
+fixed scratch slot and a disjoint output slice, so a retried chunk
+rewrites its range bit-identically).  Segment names embed the creating
+PID, so :func:`sweep_orphans` can unlink segments whose creator died
+without running its ``finally`` (a SIGKILLed *parent*; worker deaths
+are already covered by parent-side ownership); the sweep runs on pool
+rebuild, before retry waves, and at interpreter exit.
 """
 
 from __future__ import annotations
 
+import atexit
+import errno
 import os
 import secrets
 import sys
@@ -152,24 +165,103 @@ def list_live_segments() -> List[str]:
     return sorted(f for f in os.listdir(root) if f.startswith(SEGMENT_PREFIX))
 
 
+def _segment_owner_pid(name: str) -> Optional[int]:
+    """The PID baked into an engine segment name, or ``None`` if the
+    name does not follow the ``repro_shm_<pidhex>_<token>`` scheme."""
+    if not name.startswith(SEGMENT_PREFIX):
+        return None
+    pid_hex, _, token = name[len(SEGMENT_PREFIX):].partition("_")
+    if not pid_hex or not token:
+        return None
+    try:
+        return int(pid_hex, 16)
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def sweep_orphans() -> List[str]:
+    """Unlink engine segments in ``/dev/shm`` whose creator is dead.
+
+    Segment names embed the creating PID
+    (``repro_shm_<pidhex>_<token>``), so orphans — segments whose owner
+    was SIGKILLed between ``shm_open`` and its ``finally`` — are
+    identifiable without any shared bookkeeping.  This process's own
+    live segments are never touched, and a PID that merely got recycled
+    costs nothing worse than skipping a sweep (the check errs toward
+    "alive").  Returns the names unlinked.
+
+    Runs on broken-pool rebuild, before retry waves, and at interpreter
+    exit; also public API for embedders supervising worker fleets.
+    """
+    own = os.getpid()
+    swept = []
+    for name in list_live_segments():
+        pid = _segment_owner_pid(name)
+        if pid is None or pid == own or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join("/dev/shm", name))
+        except (FileNotFoundError, PermissionError):
+            continue  # raced with another sweeper, or not ours to clean
+        swept.append(name)
+    return swept
+
+
+# Registered *after* module import completes; runs before (LIFO) the
+# pool registry's atexit shutdown, which is harmless — the sweep only
+# touches dead-owner segments, never this process's own.
+atexit.register(sweep_orphans)
+
+
 class SegmentRegistry:
     """Parent-side owner of shared segments.
 
     Centralizes creation so cleanup is a single idempotent
     :meth:`unlink` — called in a ``finally`` by the engine, and again by
     ``__exit__`` when used as a context manager, covering worker-crash
-    and mid-setup error paths.
+    and mid-setup error paths.  ``fault_plan`` lets the chaos harness
+    fail allocations; a real or injected ``ENOSPC`` surfaces as the
+    typed :class:`~repro.parallel.resilience.ShmAllocationError` that
+    sends the call down the fallback chain.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fault_plan=None) -> None:
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
         self._views: Dict[SharedArraySpec, np.ndarray] = {}
+        self._fault_plan = fault_plan
 
     # ------------------------------------------------------------ create
     def _create(self, nbytes: int) -> shared_memory.SharedMemory:
-        seg = shared_memory.SharedMemory(
-            create=True, name=_new_segment_name(), size=max(int(nbytes), 1)
-        )
+        from repro.parallel.resilience import ShmAllocationError
+
+        if self._fault_plan is not None and self._fault_plan.take_enospc():
+            raise ShmAllocationError(
+                "injected ENOSPC: shared segment allocation failed",
+                executor="shm",
+            )
+        try:
+            seg = shared_memory.SharedMemory(
+                create=True, name=_new_segment_name(), size=max(int(nbytes), 1)
+            )
+        except OSError as err:
+            if err.errno == errno.ENOSPC:
+                raise ShmAllocationError(
+                    f"/dev/shm cannot hold a {nbytes}-byte segment: {err}",
+                    executor="shm",
+                ) from err
+            raise
         self._segments[seg.name.lstrip("/")] = seg
         return seg
 
@@ -414,9 +506,17 @@ def _compute_chunk(task) -> tuple:
     Returns the symbolic sizing of the chunk (exact per-column output
     counts) plus the chunk stats; the values themselves stay in shared
     memory and never cross the pipe.
+
+    Idempotent: the chunk owns its scratch slot outright, so a retried
+    task (after a worker death) restages the identical bytes over
+    whatever a half-finished predecessor left behind.
     """
-    session, j0, j1, scratch_indices, scratch_data = task
+    session, j0, j1, scratch_indices, scratch_data, fault = task
     state = _ensure_session(session)
+    if fault:
+        from repro.parallel.faults import apply_chunk_fault
+
+        apply_chunk_fault(fault)
     # Deferred: executor imports this module.
     from repro.parallel.executor import _run_chunk
 
@@ -465,10 +565,16 @@ def _scatter_chunks(task) -> int:
 
     Each worker receives one batch (the copies are balanced by
     construction — chunks have near-equal nnz), so the scatter costs a
-    single pool round-trip per worker.
+    single pool round-trip per worker.  Idempotent: every chunk's
+    output slice is disjoint, so a retried batch rewrites its ranges
+    bit-identically.
     """
-    session, batch = task
+    session, batch, fault = task
     state = _ensure_session(session)
+    if fault:
+        from repro.parallel.faults import apply_chunk_fault
+
+        apply_chunk_fault(fault)
     att = state["attach"]
     done = 0
     for nnz, lo, scratch_indices, scratch_data, out_indices, out_data in batch:
@@ -522,12 +628,12 @@ class SharedMemoryPool:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._lock = threading.Lock()
 
-    def _lease_pool(self, threads: int):
+    def _lease_pool(self, threads: int, deadline=None):
         """Context manager: the registry pool for this engine, checked
-        out (eviction-pinned) for the duration of one call."""
+        out (eviction-pinned) for the duration of one wave."""
         from repro.parallel.pools import lease_pool
 
-        return lease_pool("shm", threads, self._mp_context)
+        return lease_pool("shm", threads, self._mp_context, deadline=deadline)
 
     def shutdown(self, *, discard: bool = False) -> None:
         """Release this engine's pool reference.
@@ -561,6 +667,9 @@ class SharedMemoryPool:
         threads: int,
         index_dtype=None,
         materialize: Optional[bool] = None,
+        policy=None,
+        deadline=None,
+        fault_plan=None,
     ):
         """Execute ``method`` over ``ranges`` on the shared-memory pool.
 
@@ -570,31 +679,95 @@ class SharedMemoryPool:
         picks result placement (:func:`resolve_shm_results`): the
         default returns segment-backed zero-copy arrays, ``True`` copies
         them into private memory before the segment is unlinked.
+
+        ``policy``/``deadline`` bound the call
+        (:mod:`repro.parallel.resilience`; both default to the
+        environment-resolved policy): chunks whose worker dies are
+        retried on a rebuilt pool, and every wait honours the deadline.
+        ``fault_plan`` injects chaos-harness faults.
         """
         # Resolve before any segment exists so a bad REPRO_SHM_RESULTS
         # fails fast and clean.
         materialize = resolve_shm_results(materialize)
+        from repro.parallel.resilience import Deadline, resolve_policy
+
+        if policy is None:
+            policy = resolve_policy(deadline=deadline)
+        deadline = Deadline.resolve(
+            deadline if deadline is not None else policy.deadline_s
+        )
         with self._lock:
-            try:
-                # The lease spans both submit waves: a leased pool
-                # cannot be LRU-evicted out from under the call.
-                with self._lease_pool(threads) as pool:
-                    self._pool = pool
-                    return self._run_locked(
-                        mats, method, ranges,
-                        sorted_output=sorted_output, kwargs=kwargs,
-                        threads=threads, pool=pool,
-                        index_dtype=index_dtype, materialize=materialize,
+            return self._run_locked(
+                mats, method, ranges,
+                sorted_output=sorted_output, kwargs=kwargs,
+                threads=threads, index_dtype=index_dtype,
+                materialize=materialize, policy=policy,
+                deadline=deadline, fault_plan=fault_plan,
+            )
+
+    def _run_wave(
+        self, fn, n_tasks: int, make_task, *, threads, policy, deadline,
+        label: str,
+    ):
+        """Submit ``fn(make_task(i))`` for every task index, collecting
+        with retry: a wave interrupted by a dead worker keeps its
+        completed results, discards the poisoned pool, sweeps orphaned
+        segments, and re-submits only the unfinished tasks to a rebuilt
+        pool.  ``make_task`` is called per *attempt*, so consumed fault
+        directives are not re-shipped with the retried task.
+        """
+        from repro.parallel.pools import discard_pool, pool_is_broken
+        from repro.parallel.resilience import (
+            RetriesExhausted,
+            collect_resilient,
+        )
+
+        results: Dict = {}
+        pending = list(range(n_tasks))
+        attempt = 0
+        while pending:
+            deadline.check(f"shm {label} wave")
+            transient = None
+            # The lease spans one wave attempt: a leased pool cannot be
+            # LRU-evicted out from under the call, and re-leasing after
+            # a break hands back a freshly rebuilt pool (workers attach
+            # to this call's segments by name, so a fresh pool resumes
+            # the session transparently).
+            with self._lease_pool(threads, deadline=deadline) as pool:
+                self._pool = pool
+                try:
+                    futures = {
+                        i: pool.submit(fn, make_task(i)) for i in pending
+                    }
+                    got, pending, transient = collect_resilient(
+                        futures, deadline=deadline
                     )
-            except BrokenProcessPool:
-                # A dead worker poisons the whole pool; drop it so the
-                # next call starts from a clean fork.
-                self.shutdown()
-                raise
+                    results.update(got)
+                except BrokenProcessPool as err:
+                    # Broke at submit time (poisoned by an earlier
+                    # wave): everything outstanding is retryable.
+                    transient = err
+                    pending = [i for i in pending if i not in results]
+                finally:
+                    if pool_is_broken(pool):
+                        discard_pool(pool)
+            if pending:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise RetriesExhausted(
+                        f"shm executor: {len(pending)} {label} task(s) "
+                        f"still failing transiently after "
+                        f"{policy.max_retries} retries",
+                        executor="shm",
+                    ) from transient
+                sweep_orphans()
+                deadline.sleep(policy.backoff_s(attempt))
+        return [results[i] for i in range(n_tasks)]
 
     def _run_locked(
         self, mats, method, ranges, *, sorted_output, kwargs, threads,
-        pool, index_dtype=None, materialize=False,
+        index_dtype=None, materialize=False, policy=None, deadline=None,
+        fault_plan=None,
     ):
         from repro.core.symbolic import chunk_output_layout
         from repro.kernels import resolve_index_dtype, resolve_value_dtype
@@ -607,8 +780,9 @@ class SharedMemoryPool:
         # bytes of int64, and int64 sums stage exactly.
         value_dtype = resolve_value_dtype(mats)
         idx_dtype = resolve_index_dtype(mats, index_dtype)
-        registry = SegmentRegistry()
+        registry = SegmentRegistry(fault_plan=fault_plan)
         try:
+            deadline.check("shm input publish")
             input_specs = registry.publish(
                 [arr for A in mats for arr in (A.indptr, A.indices, A.data)]
             )
@@ -639,49 +813,58 @@ class SharedMemoryPool:
                 ]
             )
             scratch = list(zip(scratch_specs[0::2], scratch_specs[1::2]))
-            futures = [
-                pool.submit(_compute_chunk, (session, j0, j1, s_idx, s_dat))
-                for (j0, j1), (s_idx, s_dat) in zip(ranges, scratch)
-            ]
-            try:
-                # Both waves collect fail-fast: the first poisoned chunk
-                # cancels what is still queued and raises immediately
-                # instead of draining every sibling first.
-                from repro.parallel.pools import collect_fail_fast
 
-                col_nnz = np.zeros(n, dtype=np.int64)
-                stat_items = []
-                sorted_flags = []
-                for j0, counts, sub_sorted, st, st_sym in collect_fail_fast(
-                    futures
-                ):
-                    col_nnz[j0 : j0 + counts.size] = counts
-                    stat_items.append((j0, st, st_sym))
-                    sorted_flags.append(sub_sorted)
-                indptr, offsets = chunk_output_layout(
-                    col_nnz, ranges, index_dtype=idx_dtype
+            def compute_task(i):
+                j0, j1 = ranges[i]
+                s_idx, s_dat = scratch[i]
+                fault = (
+                    fault_plan.take_chunk_fault(i, can_kill=True)
+                    if fault_plan is not None else None
                 )
-                total = int(indptr[-1])
-                out_indices, out_data = registry.allocate(
-                    [(total, indptr.dtype), (total, value_dtype)]
+                return (session, j0, j1, s_idx, s_dat, fault)
+
+            col_nnz = np.zeros(n, dtype=np.int64)
+            stat_items = []
+            sorted_flags = []
+            for j0, counts, sub_sorted, st, st_sym in self._run_wave(
+                _compute_chunk, len(ranges), compute_task,
+                threads=threads, policy=policy, deadline=deadline,
+                label="compute",
+            ):
+                col_nnz[j0 : j0 + counts.size] = counts
+                stat_items.append((j0, st, st_sym))
+                sorted_flags.append(sub_sorted)
+            indptr, offsets = chunk_output_layout(
+                col_nnz, ranges, index_dtype=idx_dtype
+            )
+            total = int(indptr[-1])
+            deadline.check("shm output allocation")
+            out_indices, out_data = registry.allocate(
+                [(total, indptr.dtype), (total, value_dtype)]
+            )
+            scatter_tasks = [
+                (hi - lo, lo, s_idx, s_dat, out_indices, out_data)
+                for (lo, hi), (s_idx, s_dat) in zip(offsets, scratch)
+            ]
+            batches = [
+                scatter_tasks[i::threads]
+                for i in range(threads)
+                if scatter_tasks[i::threads]
+            ]
+
+            def scatter_task(b):
+                fault = (
+                    fault_plan.take_scatter_fault()
+                    if fault_plan is not None else None
                 )
-                scatter_tasks = [
-                    (hi - lo, lo, s_idx, s_dat, out_indices, out_data)
-                    for (lo, hi), (s_idx, s_dat) in zip(offsets, scratch)
-                ]
-                batches = [
-                    scatter_tasks[i::threads]
-                    for i in range(threads)
-                    if scatter_tasks[i::threads]
-                ]
-                collect_fail_fast(
-                    [pool.submit(_scatter_chunks, (session, b)) for b in batches]
-                )
-            except BaseException:
-                # Stop touching segments that are about to be unlinked.
-                for fut in futures:
-                    fut.cancel()
-                raise
+                return (session, batches[b], fault)
+
+            self._run_wave(
+                _scatter_chunks, len(batches), scatter_task,
+                threads=threads, policy=policy, deadline=deadline,
+                label="scatter",
+            )
+            deadline.check("shm result assembly")
             owner: Optional[SharedResultOwner] = None
             if materialize:
                 out_idx_arr = registry.read_out(out_indices)
@@ -724,10 +907,14 @@ def shm_parallel_run(
     threads: int,
     index_dtype=None,
     materialize: Optional[bool] = None,
+    policy=None,
+    deadline=None,
+    fault_plan=None,
 ):
     """Run on the module's default :class:`SharedMemoryPool` engine."""
     return _DEFAULT_ENGINE.run(
         mats, method, ranges,
         sorted_output=sorted_output, kwargs=kwargs, threads=threads,
         index_dtype=index_dtype, materialize=materialize,
+        policy=policy, deadline=deadline, fault_plan=fault_plan,
     )
