@@ -324,6 +324,92 @@ def main(argv=None) -> int:
               f"{idx_wall[name] * 1e3:9.1f} ms  "
               f"idx={res.matrix.indices.dtype}")
 
+    # Gateway series: B concurrent small requests through the serving
+    # layer, micro-batching on vs off.  The batched gateway fuses the
+    # burst into one k = B*k_each kernel call (the paper's advantage
+    # grows with k; the batcher manufactures the high-k regime), the
+    # unbatched one runs B separate k=k_each calls.  Two servers live
+    # side by side on separate sockets and the repeat loop alternates
+    # legs, so machine drift cancels out of the ratio.
+    import os as _os
+    import uuid as _uuid
+    from concurrent.futures import ThreadPoolExecutor as _ClientPool
+
+    from repro.serve import GatewayClient, GatewayConfig, start_in_thread
+
+    gw_burst, gw_k = 32, 4
+    gw_reqs = [
+        erdos_renyi_collection(256, 16, d=4.0, k=gw_k, seed=100 + i)
+        for i in range(gw_burst)
+    ]
+    gw_expect = repro.spkadd(gw_reqs[0]).matrix
+    gw_in_nnz = sum(A.nnz for req in gw_reqs for A in req)
+    gw_legs = {
+        "microbatch": {"batch_max": gw_burst, "batch_window_s": 0.05},
+        "per_request": {"batch_max": 1, "batch_window_s": 0.0},
+    }
+    print(f"gateway series: {gw_burst} concurrent k={gw_k} requests, "
+          f"micro-batched vs per-request (paired)")
+    gw_wall = {leg: float("inf") for leg in gw_legs}
+    gw_handles, gw_clients, gw_out = {}, {}, {}
+    try:
+        for leg, knobs in gw_legs.items():
+            cfg = GatewayConfig(
+                socket_path=(f"/tmp/repro-bench-gw-{_os.getpid()}-"
+                             f"{_uuid.uuid4().hex[:6]}.sock"),
+                executor="thread", threads=2, max_queue=2 * gw_burst,
+                **knobs,
+            )
+            gw_handles[leg] = start_in_thread(cfg)
+            gw_clients[leg] = [
+                GatewayClient(cfg.socket_path) for _ in range(gw_burst)
+            ]
+        with _ClientPool(max_workers=gw_burst) as submit_pool:
+            def _storm(leg):
+                futures = [
+                    submit_pool.submit(client.submit, req)
+                    for client, req in zip(gw_clients[leg], gw_reqs)
+                ]
+                return [f.result() for f in futures]
+
+            for leg in gw_legs:  # warm: connects, lazy imports, pools
+                gw_out[leg] = _storm(leg)
+            for _ in range(max(args.repeats, 5)):
+                for leg in gw_legs:
+                    t0 = time.perf_counter()
+                    gw_out[leg] = _storm(leg)
+                    gw_wall[leg] = min(
+                        gw_wall[leg], time.perf_counter() - t0
+                    )
+        gw_stats = gw_clients["microbatch"][0].stats()
+        first = gw_out["microbatch"][0]
+        if not (np.array_equal(first.indices, gw_expect.indices)
+                and np.array_equal(first.data, gw_expect.data)):
+            raise AssertionError("gateway response != serial spkadd")
+    finally:
+        for clients in gw_clients.values():
+            for client in clients:
+                client.close()
+        for handle in gw_handles.values():
+            handle.stop()
+    for leg in gw_legs:
+        records.append({
+            "workload": f"gateway_b{gw_burst}_k{gw_k}_{leg}",
+            "method": "hash",
+            "backend": "-",
+            "executor": "gateway",
+            "threads": 2,
+            "wall_s": round(gw_wall[leg], 6),
+            "input_nnz": gw_in_nnz,
+            "output_nnz": sum(r.nnz for r in gw_out[leg]),
+            "ops": 0.0,
+            "probes": 0.0,
+        })
+        print(f"  gateway_b{gw_burst}_k{gw_k}_{leg:12s} "
+              f"{gw_wall[leg] * 1e3:9.1f} ms")
+    print(f"  fused_k_max={gw_stats['fused_k_max']} "
+          f"(per-request k={gw_k})")
+
     if not args.quick:
         print("RMAT workload: k=16, m=2^15, n=64, d=16")
         rm = rmat_collection(1 << 15, 64, d=16.0, k=16, seed=12)
@@ -389,6 +475,13 @@ def main(argv=None) -> int:
     print(f"hash shm int32-vs-int64 index speedup (k=16, m=2^16, d=32, "
           f"float32 values, T=2): {idx_speedup}x")
 
+    gateway_speedup = (
+        round(gw_wall["per_request"] / gw_wall["microbatch"], 2)
+        if gw_wall["microbatch"] not in (0, float("inf")) else None
+    )
+    print(f"gateway micro-batch vs per-request speedup "
+          f"(B={gw_burst}, k={gw_k}): {gateway_speedup}x")
+
     resilience_ratio = (
         round(resil_wall["disabled"] / resil_wall["enabled"], 2)
         if resil_wall["enabled"] not in (0, float("inf")) else None
@@ -397,7 +490,7 @@ def main(argv=None) -> int:
           f"shm, T={exec_threads}): {resilience_ratio}")
 
     payload = {
-        "schema": 6,
+        "schema": 7,
         "preset": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -411,6 +504,7 @@ def main(argv=None) -> int:
             "hash_process_persistent_vs_cold_pool_speedup": persist_speedup,
             "hash_shm_zero_copy_result_speedup": zerocopy_speedup,
             "resilience_overhead_ratio": resilience_ratio,
+            "gateway_microbatch_vs_per_request_speedup": gateway_speedup,
         },
         "results": records,
     }

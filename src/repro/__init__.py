@@ -23,6 +23,9 @@ Subpackages
 ``repro.machine``      machine specs, cache simulation, calibrated cost model
 ``repro.distributed``  simulated sparse SUMMA SpGEMM (the paper's application)
 ``repro.experiments``  drivers regenerating every paper table and figure
+``repro.serve``        SpKAdd-as-a-service: asyncio gateway with
+                       micro-batching, admission control, and
+                       deadline-aware backpressure
 """
 
 from repro.core.api import SpKAddResult, available_methods, spkadd
@@ -38,8 +41,16 @@ from repro.parallel.resilience import (
     RetriesExhausted,
 )
 from repro.parallel.shm import sweep_orphans
+from repro.serve import (
+    GatewayClient,
+    GatewayConfig,
+    GatewayError,
+    RequestInvalid,
+    ShedError,
+    start_in_thread,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SpKAddResult",
@@ -58,5 +69,11 @@ __all__ = [
     "CSCMatrix",
     "CSRMatrix",
     "COOMatrix",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "RequestInvalid",
+    "ShedError",
+    "start_in_thread",
     "__version__",
 ]

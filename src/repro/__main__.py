@@ -11,6 +11,9 @@ Commands
 ``table5``      cache-miss comparison
 ``fig6``        distributed SpGEMM breakdown (``--dataset``)
 ``platforms``   print the Table II machine specs
+``serve``       run the SpKAdd gateway on a unix socket (see README
+                "Serving"); ``--selftest`` runs a burst through an
+                ephemeral server and exits nonzero on any mismatch
 
 Scale is controlled by ``REPRO_SCALE_M`` / ``REPRO_SCALE_N`` (see
 EXPERIMENTS.md).
@@ -20,6 +23,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for worker/chunk counts: reject 0 and negatives at
+    the parser instead of letting them clamp to a silent serial run."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer >= 1, got {value!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
 
 
 def _cmd_demo(args) -> int:
@@ -147,6 +164,119 @@ def _cmd_platforms(_args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import GatewayConfig
+
+    config = GatewayConfig(
+        socket_path=args.socket,
+        threads=args.threads,
+        executor=args.executor,
+        small_nnz=args.small_nnz,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        batch_max=args.batch_max,
+        max_queue=args.max_queue,
+        deadline_s=args.deadline,
+        parallel_calls=args.parallel_calls,
+    )
+    if args.selftest:
+        return _serve_selftest(config, burst=args.burst)
+
+    import asyncio
+    import signal
+
+    from repro.serve.server import GatewayServer
+
+    async def _main() -> None:
+        server = GatewayServer(config)
+        await server.start()
+        print(f"repro gateway listening on {config.socket_path} "
+              f"[executor={server.executor}, threads={config.threads}, "
+              f"batch_window={config.batch_window_s * 1000:.0f}ms, "
+              f"batch_max={config.batch_max}, "
+              f"max_queue={config.max_queue}]", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_stop)
+        await server.serve_until_stopped()
+
+    asyncio.run(_main())
+    return 0
+
+
+def _serve_selftest(config, burst: int) -> int:
+    """Boot an ephemeral gateway, storm it with ``burst`` concurrent
+    small requests plus one large one, and verify every response is
+    bit-identical to a serial ``spkadd`` — the CI smoke for the
+    service path.  Returns a process exit code."""
+    import threading
+
+    import numpy as np
+
+    import repro
+    from repro.generators import erdos_renyi_collection
+    from repro.serve import GatewayClient, start_in_thread
+
+    k_each = 4
+    failures: list = []
+    barrier = threading.Barrier(burst)
+
+    def worker(seed: int) -> None:
+        try:
+            mats = erdos_renyi_collection(512, 24, d=4.0, k=k_each,
+                                          seed=seed)
+            expect = repro.spkadd(mats).matrix
+            barrier.wait(timeout=60)
+            with GatewayClient(config.socket_path) as gw:
+                got = gw.submit(mats)
+            if not (np.array_equal(got.indptr, expect.indptr)
+                    and np.array_equal(got.indices, expect.indices)
+                    and np.array_equal(got.data, expect.data)
+                    and got.indices.dtype == expect.indices.dtype
+                    and got.data.dtype == expect.data.dtype):
+                failures.append(f"seed {seed}: response != serial spkadd")
+        except Exception as err:  # noqa: BLE001 - selftest reports all
+            failures.append(f"seed {seed}: {type(err).__name__}: {err}")
+
+    with start_in_thread(config):
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(burst)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Exercise the large lane too: well past small_nnz -> solo call.
+        big = erdos_renyi_collection(1 << 14, 64, d=16.0, k=8, seed=991)
+        expect = repro.spkadd(big).matrix
+        with GatewayClient(config.socket_path) as gw:
+            got = gw.submit(big)
+            stats = gw.stats()
+        if not (np.array_equal(got.indices, expect.indices)
+                and np.array_equal(got.data, expect.data)):
+            failures.append("large request: response != serial spkadd")
+
+    print(f"selftest: {stats['completed']} completed, "
+          f"{stats['batches']} fused calls "
+          f"(fused_k_max={stats['fused_k_max']}), "
+          f"{stats['solo_calls']} solo calls, shed={stats['shed']}, "
+          f"errors={stats['errored']}")
+    if stats["completed"] != burst + 1:
+        failures.append(
+            f"expected {burst + 1} completions, saw {stats['completed']}"
+        )
+    if burst >= 8 and stats["fused_k_max"] <= k_each:
+        failures.append(
+            f"no fusion observed: fused_k_max={stats['fused_k_max']} "
+            f"<= per-request k={k_each}"
+        )
+    if stats["solo_calls"] < 1:
+        failures.append("large request did not take the solo lane")
+    for line in failures:
+        print(f"selftest FAIL: {line}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro",
@@ -173,7 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "shared memory), or serial (in-process loop, the "
                         "fallback floor); auto = REPRO_EXECUTOR env var, "
                         "then 'thread'")
-    d.add_argument("--threads", type=int, default=1)
+    d.add_argument("--threads", type=_positive_int, default=1)
     d.add_argument("--deadline", type=float, default=None,
                    help="per-call time budget in seconds for parallel "
                         "calls; expiry raises DeadlineExceeded "
@@ -240,6 +370,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("platforms", help="Table II specs").set_defaults(
         func=_cmd_platforms)
+
+    s = sub.add_parser("serve", help="run the SpKAdd gateway")
+    s.add_argument("--socket", default="/tmp/repro-gateway.sock",
+                   help="unix socket path to listen on")
+    s.add_argument("--threads", type=_positive_int, default=2,
+                   help="worker count of the gateway's kernel calls")
+    s.add_argument("--executor",
+                   choices=["thread", "process", "shm", "serial"],
+                   default="shm",
+                   help="executor for the gateway's kernel calls; shm "
+                        "and process pre-boot a dedicated pool pinned "
+                        "against registry eviction")
+    s.add_argument("--small-nnz", type=int, default=1 << 15,
+                   help="requests at or under this summed input nnz are "
+                        "micro-batched into one fused high-k call")
+    s.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="how long the first small request of a batch "
+                        "waits for batch-mates")
+    s.add_argument("--batch-max", type=_positive_int, default=16,
+                   help="max requests fused into one kernel call")
+    s.add_argument("--max-queue", type=_positive_int, default=64,
+                   help="admission limit on requests in flight; beyond "
+                        "it the gateway sheds with a typed error")
+    s.add_argument("--deadline", type=float, default=None,
+                   help="default per-request budget in seconds "
+                        "(requests may carry their own)")
+    s.add_argument("--parallel-calls", type=_positive_int, default=2,
+                   help="kernel calls allowed to run concurrently")
+    s.add_argument("--selftest", action="store_true",
+                   help="start an ephemeral server, run a concurrent "
+                        "burst against it, verify bit-identity and "
+                        "fusion, exit nonzero on failure")
+    s.add_argument("--burst", type=_positive_int, default=16,
+                   help="concurrent clients in --selftest mode")
+    s.set_defaults(func=_cmd_serve)
     return p
 
 

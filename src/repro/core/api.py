@@ -219,6 +219,11 @@ def spkadd(
     """
     check_nonempty(mats)
     check_same_shape(mats)
+    if threads < 1:
+        # threads=0 / negative used to fall through to the serial branch
+        # (threads > 1 is the parallel gate), silently ignoring the
+        # caller's request; malformed counts are rejected on every path.
+        raise ValueError(f"threads must be >= 1, got {threads}")
     if value_dtype is not None:
         from repro.kernels import resolve_value_dtype
 

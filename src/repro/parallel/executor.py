@@ -600,6 +600,16 @@ def parallel_spkadd(
 
     if method not in _REGISTRY:
         raise ValueError(f"unknown method {method!r}")
+    # Reject malformed worker counts loudly instead of silently clamping
+    # to one chunk: a gateway forwarding client-supplied knobs relies on
+    # this to turn a bad request into a typed rejection, not a serial
+    # call that quietly ignores what was asked.
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if chunks_per_thread < 1:
+        raise ValueError(
+            f"chunks_per_thread must be >= 1, got {chunks_per_thread}"
+        )
     executor = resolve_executor(executor)
     if executor in MULTIPROCESS_EXECUTORS and kwargs.get("trace_sink") is not None:
         raise ValueError(

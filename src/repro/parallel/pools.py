@@ -125,20 +125,9 @@ class PoolRegistry:
         try:
             yield pool
         finally:
-            to_close = None
-            with self._lock:
-                n = self._leases.get(pool, 0)
-                if n <= 1:
-                    self._leases.pop(pool, None)
-                    if pool in self._doomed:
-                        # shutdown() arrived mid-call; finish the job
-                        # now that the call is over.
-                        self._doomed.discard(pool)
-                        to_close = pool
-                else:
-                    self._leases[pool] = n - 1
-            if to_close is not None:
-                to_close.shutdown(wait=False)
+            # If shutdown() arrived mid-call the releasing lease closes
+            # the doomed pool now that the call is over.
+            self._release_lease(pool)
 
     def _acquire(
         self, kind, threads, mp_context, *, leased: bool, deadline=None
@@ -189,6 +178,40 @@ class PoolRegistry:
 
             sweep_orphans()
         return pool
+
+    def reserve(
+        self, kind: str, threads: int, mp_context=None, *, deadline=None
+    ) -> "PoolReservation":
+        """A standing lease pinning ``(kind, threads)``'s pool resident.
+
+        Long-lived consumers — the serve gateway above all — want their
+        warm workers to *stay* warm: without a reservation, unrelated
+        calls sweeping other worker counts can LRU-evict the gateway's
+        pool between requests, putting a pool spawn back on the next
+        request's latency.  The reservation holds a lease (the same
+        pinning one in-flight call gets) for as long as it is open;
+        :meth:`PoolReservation.pool` re-acquires transparently after
+        the pool breaks, and :meth:`PoolReservation.release` ends the
+        pin (the pool stays registered, just evictable again).
+        """
+        return PoolReservation(
+            self, kind, threads, mp_context, deadline=deadline
+        )
+
+    def _release_lease(self, pool: ProcessPoolExecutor) -> None:
+        """Drop one lease count (shared by lease() and reservations)."""
+        to_close = None
+        with self._lock:
+            n = self._leases.get(pool, 0)
+            if n <= 1:
+                self._leases.pop(pool, None)
+                if pool in self._doomed:
+                    self._doomed.discard(pool)
+                    to_close = pool
+            else:
+                self._leases[pool] = n - 1
+        if to_close is not None:
+            to_close.shutdown(wait=False)
 
     def discard(self, pool: ProcessPoolExecutor, *, wait: bool = False) -> None:
         """Drop ``pool`` from the registry and shut it down.
@@ -252,6 +275,73 @@ class PoolRegistry:
         self.shutdown()
 
 
+class PoolReservation:
+    """Standing lease on one registry pool (see :meth:`PoolRegistry.reserve`).
+
+    Usable as a context manager; :meth:`pool` hands out the reserved
+    executor and transparently re-reserves when the current pool has
+    been broken (the registry rebuilds it, the reservation re-pins the
+    replacement).  Thread-safe: the gateway touches it from compute
+    threads while the event loop may be shutting it down.
+    """
+
+    def __init__(
+        self, registry: PoolRegistry, kind: str, threads: int,
+        mp_context=None, *, deadline=None,
+    ) -> None:
+        self._registry = registry
+        self._kind = kind
+        self._threads = int(threads)
+        self._mp_context = mp_context
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        self._acquire(deadline=deadline)
+
+    def _acquire(self, *, deadline=None) -> ProcessPoolExecutor:
+        pool = self._registry._acquire(
+            self._kind, self._threads, self._mp_context, leased=True,
+            deadline=deadline,
+        )
+        with self._lock:
+            if self._closed:
+                # Raced with release(): don't hold a lease forever.
+                self._registry._release_lease(pool)
+                raise RuntimeError("reservation already released")
+            old, self._pool = self._pool, pool
+        if old is not None and old is not pool:
+            self._registry._release_lease(old)
+        return pool
+
+    def pool(self, *, deadline=None) -> ProcessPoolExecutor:
+        """The reserved pool, re-acquired if the current one broke."""
+        with self._lock:
+            pool = self._pool
+        if pool is not None and not pool_is_broken(pool):
+            return pool
+        return self._acquire(deadline=deadline)
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self._kind, self._threads)
+
+    def release(self) -> None:
+        """End the pin (idempotent); the pool stays registered."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            self._registry._release_lease(pool)
+
+    def __enter__(self) -> "PoolReservation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
 def collect_fail_fast(futures: Sequence[Future]) -> List:
     """Results of ``futures`` in submission order, failing fast.
 
@@ -289,6 +379,16 @@ def lease_pool(kind: str, threads: int, mp_context=None, *, deadline=None):
     (context manager; pins the pool against LRU eviction — see
     :meth:`PoolRegistry.lease`)."""
     return _DEFAULT_REGISTRY.lease(kind, threads, mp_context, deadline=deadline)
+
+
+def reserve_pool(
+    kind: str, threads: int, mp_context=None, *, deadline=None
+) -> PoolReservation:
+    """Pin a persistent pool in the default registry for a long-lived
+    consumer (see :meth:`PoolRegistry.reserve`)."""
+    return _DEFAULT_REGISTRY.reserve(
+        kind, threads, mp_context, deadline=deadline
+    )
 
 
 def discard_pool(pool: ProcessPoolExecutor, *, wait: bool = False) -> None:

@@ -250,20 +250,70 @@ def resolve_policy(
     defaults; an explicit ``deadline`` (seconds) overrides the policy's.
 
     Environment knobs: ``REPRO_MAX_RETRIES``, ``REPRO_DEADLINE``,
-    ``REPRO_FALLBACK`` — each error names its source so a misconfigured
-    CI leg reads differently from a bad call site.
+    ``REPRO_FALLBACK``, ``REPRO_BOOT_TIMEOUT`` — each error names its
+    source so a misconfigured CI leg reads differently from a bad call
+    site.  Every knob is validated **eagerly** here, even the ones only
+    a later degradation would consume (a bad ``REPRO_BOOT_TIMEOUT``
+    surfaces on the first call of a thread-only run, not mid-fallback
+    when a process pool finally boots) and even when an explicit
+    ``policy`` shadows the environment values.
     """
+    validate_resilience_env()
     if policy is None:
         policy = ResiliencePolicy(
-            max_retries=_env_int(MAX_RETRIES_ENV_VAR, 2),
-            deadline_s=_env_float(DEADLINE_ENV_VAR, None),
+            max_retries=_env_max_retries(),
+            deadline_s=_env_deadline(),
             fallback=_parse_fallback_env(),
         )
     if deadline is not None:
         if isinstance(deadline, Deadline):
             deadline = deadline.seconds
-        policy = dataclasses.replace(policy, deadline_s=float(deadline))
+        if deadline is not None and float(deadline) <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {deadline} "
+                "(from the deadline= argument)"
+            )
+        policy = dataclasses.replace(
+            policy,
+            deadline_s=None if deadline is None else float(deadline),
+        )
     return policy
+
+
+def validate_resilience_env() -> None:
+    """Eagerly parse and range-check every resilience environment knob.
+
+    Called on every :func:`resolve_policy` (i.e. at the first parallel
+    call), so ``REPRO_BOOT_TIMEOUT=abc`` or ``REPRO_MAX_RETRIES=-3``
+    fails the run immediately with an error naming the variable —
+    instead of being carried silently until the one code path that
+    happens to read it (the forkserver boot, a retry loop) explodes
+    mid-degradation.
+    """
+    _env_max_retries()
+    _env_deadline()
+    _parse_fallback_env()
+    resolve_boot_timeout()
+
+
+def _env_max_retries() -> int:
+    value = _env_int(MAX_RETRIES_ENV_VAR, 2)
+    if value < 0:
+        raise ValueError(
+            f"max_retries must be >= 0, got {value} "
+            f"(from the {MAX_RETRIES_ENV_VAR} environment variable)"
+        )
+    return value
+
+
+def _env_deadline() -> Optional[float]:
+    value = _env_float(DEADLINE_ENV_VAR, None)
+    if value is not None and value <= 0:
+        raise ValueError(
+            f"deadline_s must be positive, got {value} "
+            f"(from the {DEADLINE_ENV_VAR} environment variable)"
+        )
+    return value
 
 
 def resolve_boot_timeout() -> float:
@@ -421,4 +471,5 @@ __all__ = [
     "collect_resilient",
     "resolve_boot_timeout",
     "resolve_policy",
+    "validate_resilience_env",
 ]

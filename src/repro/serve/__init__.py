@@ -1,0 +1,53 @@
+"""SpKAdd as a service: asyncio gateway, micro-batching, admission control.
+
+Quick start (in-process, for tests and co-located callers)::
+
+    from repro.serve import GatewayConfig, GatewayClient, start_in_thread
+
+    with start_in_thread(GatewayConfig(socket_path="/tmp/g.sock")):
+        with GatewayClient("/tmp/g.sock") as gw:
+            total = gw.submit(mats)          # a CSCMatrix, bit-identical
+                                             # to repro.spkadd(mats)
+
+Or standalone: ``python -m repro serve --socket /tmp/g.sock``.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import BatchKey, MicroBatcher, fuse_requests, split_result
+from repro.serve.client import GatewayClient, ShmResult
+from repro.serve.protocol import (
+    ERROR_TYPES,
+    PROTOCOL_VERSION,
+    GatewayConnectionError,
+    GatewayError,
+    RequestInvalid,
+    ShedError,
+)
+from repro.serve.server import (
+    DEFAULT_SOCKET,
+    GatewayConfig,
+    GatewayHandle,
+    GatewayServer,
+    start_in_thread,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BatchKey",
+    "DEFAULT_SOCKET",
+    "ERROR_TYPES",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayConnectionError",
+    "GatewayError",
+    "GatewayHandle",
+    "GatewayServer",
+    "MicroBatcher",
+    "PROTOCOL_VERSION",
+    "RequestInvalid",
+    "ShedError",
+    "ShmResult",
+    "fuse_requests",
+    "split_result",
+    "start_in_thread",
+]

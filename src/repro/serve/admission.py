@@ -1,0 +1,89 @@
+"""Admission control: bounded queue depth, load shedding, SLO counters.
+
+The gateway's overload contract is **shed, don't queue unboundedly**: a
+request that cannot be admitted because ``max_queue`` requests are
+already in flight is answered immediately with a typed ``shed`` error
+frame, so clients see bounded latency and an honest backpressure signal
+instead of a queue that silently converts overload into timeouts for
+everyone.  Admission is also **deadline-aware**: a request whose budget
+has already expired while it waited (in the batcher window or behind
+the compute pool) is answered with the typed deadline error *without
+running* — work the client has given up on is the cheapest load to
+shed.
+
+All state lives on the event-loop thread, so plain counters suffice —
+:meth:`AdmissionController.snapshot` is what the ``stats`` op serves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class AdmissionController:
+    """In-flight bookkeeping + the gateway's observability counters."""
+
+    def __init__(self, max_queue: int) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = int(max_queue)
+        self.in_flight = 0
+        # -- counters (cumulative since server start) ------------------
+        self.received = 0          # sum requests seen
+        self.admitted = 0          # passed the queue-depth gate
+        self.shed = 0              # refused: queue full
+        self.completed = 0         # answered with a result
+        self.errored = 0           # answered with a non-shed error
+        self.deadline_expired = 0  # answered with the typed deadline error
+        self.batches = 0           # fused kernel calls issued
+        self.batched_requests = 0  # requests answered out of fused calls
+        self.solo_calls = 0        # one-request kernel calls (large lane,
+                                   # singleton batches, batch-failure reruns)
+        self.fused_k_last = 0      # k of the most recent fused call
+        self.fused_k_max = 0       # largest fused k observed
+        self.released_leases = 0   # shm result handles released
+
+    # ------------------------------------------------------------ gates
+    def try_admit(self) -> bool:
+        """Admit one request, or refuse because the queue is full."""
+        self.received += 1
+        if self.in_flight >= self.max_queue:
+            self.shed += 1
+            return False
+        self.in_flight += 1
+        self.admitted += 1
+        return True
+
+    def release(self) -> None:
+        self.in_flight -= 1
+
+    # --------------------------------------------------------- counters
+    def record_batch(self, fused_k: int, n_requests: int) -> None:
+        self.batches += 1
+        self.batched_requests += n_requests
+        self.fused_k_last = int(fused_k)
+        self.fused_k_max = max(self.fused_k_max, int(fused_k))
+
+    def snapshot(self, extra: Optional[Dict] = None) -> Dict:
+        stats = {
+            "max_queue": self.max_queue,
+            "in_flight": self.in_flight,
+            "received": self.received,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "completed": self.completed,
+            "errored": self.errored,
+            "deadline_expired": self.deadline_expired,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "solo_calls": self.solo_calls,
+            "fused_k_last": self.fused_k_last,
+            "fused_k_max": self.fused_k_max,
+            "released_leases": self.released_leases,
+        }
+        if extra:
+            stats.update(extra)
+        return stats
+
+
+__all__ = ["AdmissionController"]

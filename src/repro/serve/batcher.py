@@ -1,0 +1,184 @@
+"""Micro-batching: fuse many small sum requests into one high-k call.
+
+The paper's result is that SpKAdd's advantage *grows with k*, the
+number of addends — so a gateway drowning in small requests should not
+run k=4 kernels back to back; it should make one call whose k is the
+sum of everything waiting.  The fusion trick is the paper's own input
+construction run in reverse (:meth:`~repro.formats.csc.CSCMatrix.embed_columns`):
+requests sharing a row count are laid out side by side along the
+column axis, every addend of every request is embedded at its request's
+column offset, and **all of them become addends of one fused call** —
+request r's columns receive contributions only from request r's
+matrices (everything else is structurally zero there), so slicing the
+fused sum back apart yields each request's exact answer.
+
+Fusing k_1 + k_2 + ... + k_B addends into one call raises k to the sum
+while the per-call fixed costs (pool dispatch, symbolic sizing, Python
+overhead) are paid once — exactly the regime the kernels are best at.
+
+Bit-identity with a solo ``spkadd`` call is preserved:
+
+* batches only mix requests whose **resolved value dtype** matches
+  (part of :class:`BatchKey`), so the fused resolution equals each
+  solo resolution;
+* within a request's columns the fused call sees the same entries from
+  the same addends in the same order, and the kernels' per-column
+  passes never look across columns;
+* the fused call's **index width** may resolve wider (bigger n, more
+  summed nnz), so :func:`split_result` re-casts each slice to the
+  width the request would have resolved solo — a checked narrowing
+  that cannot wrap precisely because the solo bounds fit by
+  construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+from repro.kernels import resolve_index_dtype, resolve_value_dtype
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """Requests fuse only within one key.
+
+    ``m`` — fused addends must share a row count (columns concatenate).
+    ``value_dtype`` — the solo-resolved value dtype, so fusing cannot
+    promote a request's values.  ``method``/``backend``/``sorted_output``
+    — one kernel call has one of each.
+    """
+
+    m: int
+    value_dtype: str
+    method: str
+    backend: str
+    sorted_output: bool
+
+    @classmethod
+    def for_request(
+        cls, mats: Sequence[CSCMatrix], method: str, backend: str,
+        sorted_output: bool,
+    ) -> "BatchKey":
+        return cls(
+            m=int(mats[0].shape[0]),
+            value_dtype=np.dtype(resolve_value_dtype(mats)).str,
+            method=method,
+            backend=backend or "",
+            sorted_output=bool(sorted_output),
+        )
+
+
+def fuse_requests(
+    requests: Sequence,
+) -> Tuple[List[CSCMatrix], List[Tuple[int, int]]]:
+    """Embed every request's addends into one wide collection.
+
+    ``requests`` expose ``.mats``; returns ``(fused, spans)`` where
+    ``fused`` holds ``sum(k_r)`` matrices of shape ``(m, sum(n_r))``
+    and ``spans[r]`` is the column range carrying request ``r``.
+    """
+    m = int(requests[0].mats[0].shape[0])
+    n_total = sum(int(r.mats[0].shape[1]) for r in requests)
+    fused: List[CSCMatrix] = []
+    spans: List[Tuple[int, int]] = []
+    offset = 0
+    for req in requests:
+        n_r = int(req.mats[0].shape[1])
+        for A in req.mats:
+            fused.append(A.embed_columns(n_total, offset))
+        spans.append((offset, offset + n_r))
+        offset += n_r
+    assert offset == n_total and m == int(fused[0].shape[0])
+    return fused, spans
+
+
+def split_result(
+    matrix: CSCMatrix,
+    requests: Sequence,
+    spans: Sequence[Tuple[int, int]],
+) -> List[CSCMatrix]:
+    """Slice the fused sum back into per-request results.
+
+    Each slice is re-cast to the index width the request would resolve
+    solo (the fused call may have widened); the narrowing is checked by
+    ``with_index_dtype`` and cannot wrap because the solo bounds fit.
+    """
+    outs = []
+    for req, (j0, j1) in zip(requests, spans):
+        sub = matrix.select_columns(j0, j1)
+        solo = resolve_index_dtype(req.mats, getattr(req, "index_dtype", None))
+        if sub.indices.dtype != solo or sub.indptr.dtype != solo:
+            sub = sub.with_index_dtype(solo)
+        outs.append(sub)
+    return outs
+
+
+class MicroBatcher:
+    """Collect small requests per :class:`BatchKey`, flush fused batches.
+
+    A bucket flushes when it reaches ``max_batch`` requests or when
+    ``window_s`` has elapsed since its first request — whichever comes
+    first.  ``window_s`` is the latency the gateway *spends* to buy a
+    higher k; at zero every request still flushes on the next loop tick
+    (batching then only fuses requests that arrived in one burst).
+    Flushing hands the batch to ``run_batch`` (an async callable) as a
+    fire-and-forget task; the batcher never blocks the accept loop.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float,
+        max_batch: int,
+        run_batch: Callable[[BatchKey, List], Awaitable[None]],
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window_s = max(float(window_s), 0.0)
+        self.max_batch = int(max_batch)
+        self._run_batch = run_batch
+        self._buckets: Dict[BatchKey, List] = {}
+        self._timers: Dict[BatchKey, asyncio.TimerHandle] = {}
+        self._tasks: set = set()
+
+    def add(self, key: BatchKey, request) -> None:
+        """Enqueue one admitted request (event-loop thread only)."""
+        bucket = self._buckets.setdefault(key, [])
+        bucket.append(request)
+        if len(bucket) >= self.max_batch or self.max_batch == 1:
+            self.flush(key)
+        elif len(bucket) == 1:
+            loop = asyncio.get_running_loop()
+            self._timers[key] = loop.call_later(
+                self.window_s, self.flush, key
+            )
+
+    def flush(self, key: BatchKey) -> None:
+        """Dispatch the key's pending bucket now (idempotent)."""
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        bucket = self._buckets.pop(key, None)
+        if not bucket:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(key, bucket)
+        )
+        # Keep a strong reference until done (asyncio holds tasks weakly).
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def flush_all(self) -> None:
+        for key in list(self._buckets):
+            self.flush(key)
+
+    def pending(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+__all__ = ["BatchKey", "MicroBatcher", "fuse_requests", "split_result"]

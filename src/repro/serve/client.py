@@ -1,0 +1,294 @@
+"""Blocking gateway client: ``submit`` a collection, get the sum back.
+
+``GatewayClient`` speaks the frame protocol over an ``AF_UNIX`` socket,
+one request/response at a time, and re-raises the server's typed error
+frames as the library's own exceptions (``DeadlineExceeded``,
+``ExecutorUnusable``, :class:`~repro.serve.protocol.ShedError`,
+:class:`~repro.serve.protocol.RequestInvalid`), so calling through the
+gateway feels like calling :func:`repro.spkadd` with a network in the
+middle.  The transport self-heals: if the connection drops (server
+restarted, idle timeout), the next call reconnects and re-sends once —
+sum requests are stateless and idempotent, so a replay is safe.
+
+Two zero-copy paths for co-located callers:
+
+* ``transport="shm"`` publishes the request arrays into a shared
+  segment and sends only handles — the request bytes never cross the
+  socket (the segment is unlinked once the response arrives);
+* ``response="shm"`` asks the server to lease the result out of shared
+  memory; the returned :class:`ShmResult` maps it read-only and
+  ``release()`` (or ``close()``/GC of the client) returns the lease.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+from repro.serve import protocol
+from repro.serve.protocol import (
+    AttachedSegments,
+    GatewayConnectionError,
+    encode_frame,
+    pack_matrices,
+    raise_for_error,
+    read_frame_sync,
+    unpack_result,
+)
+from repro.serve.server import DEFAULT_SOCKET
+
+
+class ShmResult:
+    """A result leased out of the server's shared memory.
+
+    ``matrix`` is a read-only zero-copy view; call :meth:`materialize`
+    for a private copy that survives :meth:`release`.  Releasing (or
+    closing the owning client) sends the lease token back so the server
+    unlinks the segment.
+    """
+
+    def __init__(self, client: "GatewayClient", header: Dict,
+                 payload: bytes) -> None:
+        shm = header["shm"]
+        self._client = client
+        self.token = shm["token"]
+        self._attachments = AttachedSegments()
+        indptr_desc = shm["indptr"]
+        indptr = np.frombuffer(
+            payload,
+            dtype=np.dtype(indptr_desc["dtype"]),
+            count=int(indptr_desc["size"]),
+            offset=int(indptr_desc["offset"]),
+        ).copy()
+        m, n = shm["shape"]
+        self.matrix: Optional[CSCMatrix] = CSCMatrix(
+            (int(m), int(n)),
+            indptr,
+            self._attachments.array(shm["indices"]),
+            self._attachments.array(shm["data"]),
+            sorted=bool(shm.get("sorted", True)),
+            check=False,
+        )
+
+    def materialize(self) -> CSCMatrix:
+        """A private copy, safe to keep after :meth:`release`."""
+        if self.matrix is None:
+            raise RuntimeError("ShmResult already released")
+        return CSCMatrix(
+            self.matrix.shape,
+            np.array(self.matrix.indptr, copy=True),
+            np.array(self.matrix.indices, copy=True),
+            np.array(self.matrix.data, copy=True),
+            sorted=self.matrix.sorted,
+            check=False,
+        )
+
+    def release(self) -> None:
+        """Drop the mapping and hand the lease back (idempotent)."""
+        if self.matrix is None:
+            return
+        self.matrix = None
+        self._attachments.close()
+        self._client._release_lease(self.token)
+
+    def __enter__(self) -> "ShmResult":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class GatewayClient:
+    """One blocking connection to a gateway (not thread-safe; use one
+    client per thread — connections are cheap)."""
+
+    def __init__(self, socket_path: str = DEFAULT_SOCKET, *,
+                 timeout: Optional[float] = None) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._ids = iter(range(1, 1 << 62))
+
+    # ------------------------------------------------------------ transport
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as err:
+            sock.close()
+            raise GatewayConnectionError(
+                f"cannot reach gateway at {self.socket_path}: {err}"
+            ) from err
+        return sock
+
+    def _ensure(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = self._connect()
+        return self._sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    def _roundtrip(self, header: Dict, payload: bytes = b""):
+        """Send one frame, read one response; reconnect-and-resend once
+        if the connection turns out to be dead (requests are stateless
+        and idempotent, so a replay is safe)."""
+        frame = encode_frame(header, payload)
+        for attempt in (0, 1):
+            sock = self._ensure()
+            try:
+                sock.sendall(frame)
+                return read_frame_sync(sock)
+            except (ConnectionError, BrokenPipeError, OSError) as err:
+                self._drop()
+                if attempt:
+                    raise GatewayConnectionError(
+                        f"gateway connection failed twice: {err}"
+                    ) from err
+
+    def _send_only(self, header: Dict) -> None:
+        """Fire-and-forget (the ``release`` op has no response)."""
+        if self._sock is None:
+            return  # no connection -> the lease died with it server-side
+        try:
+            self._sock.sendall(encode_frame(header))
+        except (ConnectionError, BrokenPipeError, OSError):
+            self._drop()  # ditto: disconnect releases server-side leases
+
+    def _release_lease(self, token) -> None:
+        self._send_only({"op": "release", "token": token})
+
+    # ------------------------------------------------------------------ ops
+    def submit(
+        self,
+        mats: Sequence[CSCMatrix],
+        *,
+        method: str = "hash",
+        backend: Optional[str] = None,
+        sorted_output: bool = True,
+        threads: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        index_dtype=None,
+        value_dtype=None,
+        response: str = "inline",
+        transport: str = "inline",
+    ):
+        """Sum ``mats`` on the gateway.
+
+        Returns a :class:`CSCMatrix` (``response="inline"``) or a
+        :class:`ShmResult` lease (``response="shm"``).  Typed error
+        frames re-raise as the matching library exception.
+        """
+        mats = list(mats)
+        if not mats:
+            raise ValueError("need at least one matrix")
+        # The wire carries ONE shape per request; a mismatched matrix
+        # whose indices happen to fit the declared shape would
+        # otherwise reinterpret cleanly and sum to a silently wrong
+        # result.
+        for i, mat in enumerate(mats):
+            if tuple(mat.shape) != tuple(mats[0].shape):
+                raise ValueError(
+                    f"all matrices must share one shape: mats[{i}] is "
+                    f"{tuple(mat.shape)}, mats[0] is {tuple(mats[0].shape)}"
+                )
+        shape = [int(mats[0].shape[0]), int(mats[0].shape[1])]
+        header = {
+            "op": "sum",
+            "id": next(self._ids),
+            "shape": shape,
+            "method": method,
+            "backend": backend,
+            "sorted_output": bool(sorted_output),
+            "threads": threads,
+            "deadline_s": deadline_s,
+            "response": response,
+        }
+        if index_dtype is not None:
+            header["index_dtype"] = np.dtype(index_dtype).str
+        if value_dtype is not None:
+            header["value_dtype"] = np.dtype(value_dtype).str
+        registry = None
+        try:
+            if transport == "shm":
+                header["mats"], payload, registry = self._publish(mats)
+            elif transport == "inline":
+                header["mats"], payload = pack_matrices(mats)
+            else:
+                raise ValueError(
+                    f"unknown transport {transport!r}; "
+                    "choose 'inline' or 'shm'"
+                )
+            resp, resp_payload = self._roundtrip(header, payload)
+        finally:
+            if registry is not None:
+                # The server has answered (or the transport died), so it
+                # is done reading the request segment: unlink it now.
+                registry.unlink()
+        raise_for_error(resp)
+        if "shm" in resp:
+            return ShmResult(self, resp, resp_payload)
+        return unpack_result(resp["result"], resp_payload)
+
+    def _publish(self, mats: List[CSCMatrix]):
+        """shm transport: segment handles instead of inline buffers."""
+        from repro.parallel.shm import SegmentRegistry
+
+        registry = SegmentRegistry()
+        arrays = []
+        for A in mats:
+            arrays.extend((A.indptr, A.indices, A.data))
+        try:
+            specs = registry.publish(arrays)
+        except BaseException:
+            registry.unlink()
+            raise
+        entries = []
+        it = iter(specs)
+        for A in mats:
+            entry = {"sorted": bool(A.sorted)}
+            for name in ("indptr", "indices", "data"):
+                spec = next(it)
+                entry[name] = {"shm": {
+                    "name": spec.name, "dtype": spec.dtype,
+                    "size": spec.size, "offset": spec.offset,
+                }}
+            entries.append(entry)
+        return entries, b"", registry
+
+    def ping(self) -> Dict:
+        resp, _ = self._roundtrip({"op": "ping", "id": next(self._ids)})
+        raise_for_error(resp)
+        return resp
+
+    def stats(self) -> Dict:
+        resp, _ = self._roundtrip({"op": "stats", "id": next(self._ids)})
+        raise_for_error(resp)
+        return resp["stats"]
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop (local-trust admin op)."""
+        resp, _ = self._roundtrip({"op": "shutdown", "id": next(self._ids)})
+        raise_for_error(resp)
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["GatewayClient", "ShmResult"]
