@@ -4,11 +4,19 @@ Three configurations per dataset: heap SpKAdd, sorted-hash and
 unsorted-hash.  Shape targets from the paper: hash SpKAdd an order of
 magnitude cheaper than heap; skipping the intermediate sort saves
 ~20% of local multiply; computation >= 2x faster overall with hash.
+
+``test_promoted_summa`` covers the production path the refactor adds:
+the same SUMMA dataflow on ``ExecutionPlan.production()`` (fast
+kernels, shm merges, rank concurrency + overlap), asserted bit-
+identical to the serial paper plan.  The figure benchmarks above stay
+pinned to the paper plan inside :func:`run_fig6`.
 """
 
 import pytest
 
+from repro.distributed import ExecutionPlan, ProcessGrid, summa_spgemm
 from repro.experiments.fig6 import run_fig6
+from repro.generators import rmat
 
 
 @pytest.mark.parametrize("dataset", ["isolates", "metaclust50"])
@@ -33,6 +41,26 @@ def test_fig6(benchmark, scale, dataset):
     heap_total = res.phase_times["heap"].computation
     hash_total = res.phase_times["unsorted_hash"].computation
     assert heap_total / hash_total > 1.5
+
+
+def test_promoted_summa(benchmark, scale):
+    benchmark.group = "spgemm-workload"
+    A = rmat(4096, 4096, d=8.0, seed=23)
+    grid = ProcessGrid(2, 2)
+    ref = summa_spgemm(
+        A, A, grid=grid, stages=16, sorted_intermediates=False
+    ).assemble()
+
+    def promoted():
+        return summa_spgemm(
+            A, A, grid=grid, stages=16, sorted_intermediates=False,
+            plan=ExecutionPlan.production(),
+        ).assemble()
+
+    got = benchmark.pedantic(promoted, rounds=3, iterations=1, warmup_rounds=1)
+    assert got.indptr.tobytes() == ref.indptr.tobytes()
+    assert got.indices.tobytes() == ref.indices.tobytes()
+    assert got.data.tobytes() == ref.data.tobytes()
 
 
 if __name__ == "__main__":

@@ -410,6 +410,104 @@ def main(argv=None) -> int:
     print(f"  fused_k_max={gw_stats['fused_k_max']} "
           f"(per-request k={gw_k})")
 
+    # SpGEMM workload series: the promoted SUMMA path (fast kernels, shm
+    # merges, rank concurrency + multiply/merge overlap) vs the
+    # pre-refactor serial paper path (rank-by-rank, instrumented merges)
+    # on an RMAT 2^14 squaring.  Legs alternate within each repeat
+    # (paired) so machine drift cancels out of the ratio, and the
+    # promoted leg's result is checked bit-identical to the serial one —
+    # the speedup may not come from computing something else.
+    from repro.distributed import ExecutionPlan, ProcessGrid, summa_spgemm
+    from repro.generators import rmat
+
+    spg_m, spg_d, spg_stages = 1 << 14, 4.0, 16
+    spg_A = rmat(spg_m, spg_m, d=spg_d, seed=21)
+    spg_grid = ProcessGrid(2, 2)
+    spg_legs = {
+        "serial": dict(plan=ExecutionPlan.paper()),
+        "fast_shm": dict(plan=ExecutionPlan.production(),
+                         sorted_intermediates=False),
+    }
+    print(f"spgemm series: SUMMA rmat m=2^14 d={spg_d} stages={spg_stages}, "
+          "promoted fast/shm vs serial paper path (paired)")
+    spg_wall = {leg: float("inf") for leg in spg_legs}
+    spg_out = {}
+    spg_repeats = 2 if args.quick else max(args.repeats, 3)
+    for _ in range(spg_repeats):
+        for leg, leg_kw in spg_legs.items():
+            t0 = time.perf_counter()
+            spg_out[leg] = summa_spgemm(
+                spg_A, spg_A, grid=spg_grid, stages=spg_stages, **leg_kw
+            )
+            spg_wall[leg] = min(spg_wall[leg], time.perf_counter() - t0)
+    spg_mats = {leg: r.assemble() for leg, r in spg_out.items()}
+    if not (
+        spg_mats["fast_shm"].indptr.tobytes()
+        == spg_mats["serial"].indptr.tobytes()
+        and spg_mats["fast_shm"].indices.tobytes()
+        == spg_mats["serial"].indices.tobytes()
+        and spg_mats["fast_shm"].data.tobytes()
+        == spg_mats["serial"].data.tobytes()
+    ):
+        raise AssertionError("promoted SUMMA result != serial reference")
+    for leg in spg_legs:
+        records.append({
+            "workload": f"spgemm_rmat16384_{leg}",
+            "method": "summa_hash",
+            "backend": "instrumented" if leg == "serial" else "fast",
+            "executor": "-" if leg == "serial" else "shm",
+            "threads": 1 if leg == "serial" else 4,
+            "wall_s": round(spg_wall[leg], 6),
+            "input_nnz": 2 * spg_A.nnz,
+            "output_nnz": spg_mats[leg].nnz,
+            "ops": float(sum(r.spkadd_stats.ops for r in spg_out[leg].ranks)),
+            "probes": float(
+                sum(r.spkadd_stats.probes for r in spg_out[leg].ranks)
+            ),
+        })
+        print(f"  spgemm_rmat16384_{leg:9s} summa_hash "
+              f"{spg_wall[leg] * 1e3:9.1f} ms")
+
+    if not args.quick:
+        # Protein-surrogate SpGEMM (the paper's HipMCL squaring shape):
+        # same paired promoted-vs-serial comparison on a symmetrized
+        # similarity surrogate.
+        from repro.experiments.fig6 import _square_surrogate
+
+        prot_A = _square_surrogate(4096, 8.0, sigma=1.0, seed=61)
+        print("spgemm series: SUMMA protein surrogate m=4096 d=8 "
+              "stages=32, promoted vs serial (paired)")
+        prot_wall = {leg: float("inf") for leg in spg_legs}
+        prot_out = {}
+        for _ in range(max(args.repeats, 3)):
+            for leg, leg_kw in spg_legs.items():
+                t0 = time.perf_counter()
+                prot_out[leg] = summa_spgemm(
+                    prot_A, prot_A, grid=spg_grid, stages=32, **leg_kw
+                )
+                prot_wall[leg] = min(
+                    prot_wall[leg], time.perf_counter() - t0
+                )
+        for leg in spg_legs:
+            records.append({
+                "workload": f"spgemm_protein4096_{leg}",
+                "method": "summa_hash",
+                "backend": "instrumented" if leg == "serial" else "fast",
+                "executor": "-" if leg == "serial" else "shm",
+                "threads": 1 if leg == "serial" else 4,
+                "wall_s": round(prot_wall[leg], 6),
+                "input_nnz": 2 * prot_A.nnz,
+                "output_nnz": prot_out[leg].assemble().nnz,
+                "ops": float(
+                    sum(r.spkadd_stats.ops for r in prot_out[leg].ranks)
+                ),
+                "probes": float(
+                    sum(r.spkadd_stats.probes for r in prot_out[leg].ranks)
+                ),
+            })
+            print(f"  spgemm_protein4096_{leg:9s} summa_hash "
+                  f"{prot_wall[leg] * 1e3:9.1f} ms")
+
     if not args.quick:
         print("RMAT workload: k=16, m=2^15, n=64, d=16")
         rm = rmat_collection(1 << 15, 64, d=16.0, k=16, seed=12)
@@ -489,8 +587,15 @@ def main(argv=None) -> int:
     print(f"resilience happy-path overhead ratio (disabled/enabled wall, "
           f"shm, T={exec_threads}): {resilience_ratio}")
 
+    spgemm_speedup = (
+        round(spg_wall["serial"] / spg_wall["fast_shm"], 2)
+        if spg_wall["fast_shm"] not in (0, float("inf")) else None
+    )
+    print(f"spgemm promoted fast/shm vs serial paper path speedup "
+          f"(rmat m=2^14, stages={spg_stages}): {spgemm_speedup}x")
+
     payload = {
-        "schema": 7,
+        "schema": 8,
         "preset": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -505,6 +610,7 @@ def main(argv=None) -> int:
             "hash_shm_zero_copy_result_speedup": zerocopy_speedup,
             "resilience_overhead_ratio": resilience_ratio,
             "gateway_microbatch_vs_per_request_speedup": gateway_speedup,
+            "spgemm_fast_shm_vs_serial_speedup": spgemm_speedup,
         },
         "results": records,
     }

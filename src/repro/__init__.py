@@ -30,8 +30,10 @@ Subpackages
 
 from repro.core.api import SpKAddResult, available_methods, spkadd
 from repro.core.stats import KernelStats
+from repro.distributed import ExecutionPlan, summa_spgemm
 from repro.formats import CSCMatrix, CSRMatrix, COOMatrix
 from repro.kernels import available_backends, get_backend
+from repro.parallel.executor import submit_spkadd
 from repro.parallel.pools import shutdown_pools
 from repro.parallel.resilience import (
     DeadlineExceeded,
@@ -50,7 +52,7 @@ from repro.serve import (
     start_in_thread,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "SpKAddResult",
@@ -58,6 +60,9 @@ __all__ = [
     "available_backends",
     "get_backend",
     "spkadd",
+    "submit_spkadd",
+    "ExecutionPlan",
+    "summa_spgemm",
     "shutdown_pools",
     "sweep_orphans",
     "ResiliencePolicy",

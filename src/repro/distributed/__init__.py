@@ -27,13 +27,14 @@ Every simulated run is verified against a direct single-matrix SpGEMM.
 from repro.distributed.grid import BlockDistribution, ProcessGrid
 from repro.distributed.comm import CommLog
 from repro.distributed.spgemm_local import LocalSpGEMMStats, local_spgemm
-from repro.distributed.summa import SummaResult, summa_spgemm
+from repro.distributed.summa import ExecutionPlan, SummaResult, summa_spgemm
 from repro.distributed.timing import spgemm_phase_times
 
 __all__ = [
     "BlockDistribution",
     "ProcessGrid",
     "CommLog",
+    "ExecutionPlan",
     "LocalSpGEMMStats",
     "local_spgemm",
     "SummaResult",

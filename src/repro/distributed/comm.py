@@ -5,6 +5,13 @@ computational steps by excluding the communication costs"), so the
 simulated communicator only *accounts* broadcast traffic — volumes and
 a simple alpha-beta time estimate — without affecting the reported
 computation times.
+
+Volumes are computed from each block's **actual** array widths
+(``indptr`` + ``indices`` + ``data`` at their stored dtypes), not an
+assumed 8-byte-value/8-byte-index layout: a float32/int32 run moves
+half the bytes of a float64/int64 one, and the log says so.  Use
+:meth:`CommLog.bcast_block` to record a block broadcast; the event
+keeps the entry count and per-entry itemsizes for dtype-level audits.
 """
 
 from __future__ import annotations
@@ -21,6 +28,13 @@ class CommEvent:
     root: int
     group_size: int
     bytes: int
+    #: nnz of the broadcast block (0 for events logged through the raw
+    #: byte-count API).
+    entries: int = 0
+    #: actual per-entry widths of the block's value/index arrays, so
+    #: the volume accounting is auditable per dtype (0 = unknown).
+    value_itemsize: int = 0
+    index_itemsize: int = 0
 
 
 @dataclass
@@ -37,7 +51,24 @@ class CommLog:
     events: List[CommEvent] = field(default_factory=list)
 
     def bcast(self, stage: int, kind: str, root: int, group_size: int, nbytes: int) -> None:
+        """Record a broadcast by raw byte count (caller-computed)."""
         self.events.append(CommEvent(stage, kind, root, group_size, nbytes))
+
+    def bcast_block(self, stage: int, kind: str, root: int, group_size: int, block) -> None:
+        """Record the broadcast of one sparse block.
+
+        The volume is the block's actual storage — ``indptr`` +
+        ``indices`` + ``data`` at their stored dtypes — so narrow-dtype
+        runs (float32 values, int32 indices) are accounted at their
+        real widths instead of an assumed 8-byte layout.
+        """
+        self.events.append(CommEvent(
+            stage, kind, root, group_size,
+            int(block.indptr.nbytes + block.indices.nbytes + block.data.nbytes),
+            entries=int(block.nnz),
+            value_itemsize=int(block.data.dtype.itemsize),
+            index_itemsize=int(block.indices.dtype.itemsize),
+        ))
 
     @property
     def total_bytes(self) -> int:

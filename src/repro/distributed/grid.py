@@ -23,6 +23,18 @@ class ProcessGrid:
     rows: int
     cols: int
 
+    def __post_init__(self) -> None:
+        # Reject malformed grids loudly, naming the argument (the same
+        # convention as the executor's threads/chunks_per_thread
+        # validation): a zero or negative extent would silently produce
+        # an empty rank list and a vacuously "successful" SUMMA.
+        for name, value in (("rows", self.rows), ("cols", self.cols)):
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                raise ValueError(
+                    f"ProcessGrid {name} must be a positive integer, "
+                    f"got {value!r}"
+                )
+
     @property
     def size(self) -> int:
         return self.rows * self.cols
@@ -80,11 +92,15 @@ class BlockDistribution:
                 b = i * bc + j
                 lo, hi = int(starts[b]), int(starts[b + 1])
                 shape_local = (int(rb[i + 1] - rb[i]), int(cb[j + 1] - cb[j]))
+                # Localize indices in the parent's own index dtype: the
+                # bounds arrays are int64 and would otherwise upcast
+                # int32 indices, inflating every block — and the comm
+                # log's broadcast volumes — to wide widths.
                 row.append(
                     CSCMatrix.from_arrays(
                         shape_local,
-                        rows[lo:hi] - rb[i],
-                        cols[lo:hi] - cb[j],
+                        rows[lo:hi] - rows.dtype.type(rb[i]),
+                        cols[lo:hi] - cols.dtype.type(cb[j]),
                         vals[lo:hi],
                         sum_duplicates=False,
                     )

@@ -3,11 +3,31 @@
 Column-wise Gustavson on CSC: column j of C = A * B accumulates
 ``sum_t B(t, j) * A(:, t)``.  The expansion (gathering A columns for
 every nonzero of B) is fully vectorized; the accumulation of the
-expanded (row, col, val) stream uses either
+expanded (row, col, val) stream routes through the kernel registry
+(:mod:`repro.kernels`), exactly like SpKAdd's hash-family methods:
 
-* ``accumulator="hash"`` — the linear-probing engine (what CombBLAS's
-  hash SpGEMM does; output *unsorted* unless ``sorted_output``), or
-* ``accumulator="sort"`` — sort + reduce (always sorted output).
+* ``backend="instrumented"`` — the paper-faithful linear-probing engine
+  (what CombBLAS's hash SpGEMM does); the sole source of
+  slot-op/probe/table-traffic statistics, and the only backend whose
+  output can be left *unsorted* (table order) when ``sorted_output`` is
+  False;
+* ``backend="fast"`` — sort + strict in-order segmented reduce:
+  bit-identical values (duplicates of a key are summed in the same
+  left-to-right order the probing table accumulates them), an order of
+  magnitude faster, always sorted, no slot-level stats.
+
+``accumulator="sort"`` keeps the explicit sort-accumulate variant whose
+cost the timing model charges as ``sort_entries`` (it now reduces via
+:func:`repro.kernels.sort_reduce`, so its sums are bit-identical to the
+hash accumulators on every dtype).
+
+The multiply is dtype/index-dtype generic: values accumulate in the
+dtype :func:`repro.kernels.resolve_value_dtype` resolves for (A, B)
+(float32 stays float32, integer products sum exactly in 64-bit) and
+indices are emitted at the width
+:func:`repro.kernels.resolve_index_dtype` resolves from the output
+shape and the expansion bound — int32 keys make the fast backend's
+dominant argsort run on 4-byte keys, the same lever SpKAdd pulls.
 
 The paper's Fig 6 point: when the downstream SpKAdd is hash-based it
 accepts unsorted inputs, so local multiplies can skip the final sort
@@ -23,10 +43,15 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.blocks import split_keys
-from repro.core.hashtable import hash_accumulate
-from repro.formats.compressed import build_indptr
+from repro.core.blocks import composite_keys, split_keys
+from repro.formats.compressed import (
+    INT32_INDEX_CAPACITY,
+    build_indptr,
+    resolve_index_dtype,
+)
 from repro.formats.csc import CSCMatrix
+from repro.kernels import resolve_backend, resolve_value_dtype
+from repro.kernels.fast import sort_reduce
 from repro.util.hashing import table_size_for
 
 
@@ -36,10 +61,13 @@ class LocalSpGEMMStats:
 
     ``flops``: multiply-add pairs (the classic SpGEMM flop count,
     counted as expanded entries).  ``hash_ops``/``probes``: accumulator
-    slot visits.  ``sort_entries``: entries passed through the final
-    sort (0 when unsorted output is allowed).  ``table_traffic``:
-    random-access histogram, same convention as
-    :class:`~repro.core.stats.KernelStats`.
+    slot visits (instrumented backend only — the fast backend has no
+    slots and meters zero, the same contract as
+    :class:`~repro.core.stats.KernelStats`).  ``sort_entries``: entries
+    passed through an explicit sort (0 when unsorted output is allowed,
+    and 0 on the fast backend, whose sortedness is a free byproduct of
+    its sort/reduce).  ``table_traffic``: random-access histogram, same
+    convention as :class:`~repro.core.stats.KernelStats`.
     """
 
     flops: int = 0
@@ -60,30 +88,41 @@ class LocalSpGEMMStats:
         return self
 
 
-def _expand(A: CSCMatrix, B: CSCMatrix):
+def _expand(A: CSCMatrix, B: CSCMatrix, value_dtype: np.dtype):
     """Vectorized Gustavson expansion.
 
     For every nonzero B(t, j) emit A(:, t) scaled by B(t, j), tagged
-    with output column j.  Returns (out_cols, out_rows, out_vals).
+    with output column j.  Returns (out_cols, out_rows, out_vals) with
+    values in ``value_dtype`` and ids in the narrowest key-safe integer
+    width (int32 when the composite key range ``m * n`` fits, so the
+    accumulators sort/hash 4-byte keys).
     """
+    ma = A.shape[0]
     n_out = B.shape[1]
-    b_cols = np.repeat(np.arange(n_out, dtype=np.int64), np.diff(B.indptr))
+    id_dtype = (
+        np.int32
+        if int(ma) * int(n_out) <= INT32_INDEX_CAPACITY
+        else np.int64
+    )
+    b_cols = np.repeat(np.arange(n_out, dtype=id_dtype), np.diff(B.indptr))
     t = B.indices  # inner index of each B nonzero
     lens = (A.indptr[t + 1] - A.indptr[t]).astype(np.int64)
     total = int(lens.sum())
     if total == 0:
         return (
-            np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=id_dtype),
+            np.empty(0, dtype=id_dtype),
+            np.empty(0, dtype=value_dtype),
         )
     starts = A.indptr[t].astype(np.int64)
     # Classic multi-slice gather: for each expanded position, its source
     # index in A.indices is start[of its B-nonzero] + local offset.
     offsets = np.concatenate([[0], np.cumsum(lens)])[:-1]
     gather = np.repeat(starts - offsets, lens) + np.arange(total, dtype=np.int64)
-    rows = A.indices[gather]
-    vals = A.data[gather] * np.repeat(B.data, lens)
+    rows = A.indices[gather].astype(id_dtype, copy=False)
+    vals = (A.data[gather] * np.repeat(B.data, lens)).astype(
+        value_dtype, copy=False
+    )
     cols = np.repeat(b_cols, lens)
     return cols, rows, vals
 
@@ -95,12 +134,27 @@ def local_spgemm(
     accumulator: str = "hash",
     sorted_output: bool = False,
     stats: Optional[LocalSpGEMMStats] = None,
+    backend: Optional[str] = None,
+    value_dtype=None,
+    index_dtype=None,
 ) -> CSCMatrix:
     """Compute ``C = A @ B`` for local (in-process) sparse blocks.
 
-    ``sorted_output=False`` with the hash accumulator leaves each output
-    column in table order — valid CSC with unsorted columns, exactly
-    what a hash-based downstream SpKAdd consumes without penalty.
+    ``backend`` selects the accumulation engine for the ``"hash"``
+    accumulator (``None`` consults ``REPRO_BACKEND`` and then defaults
+    to ``"instrumented"``, the paper-faithful engine whose statistics
+    feed the Fig 6 cost model; pass ``"fast"`` for the production
+    sort/reduce engine — bit-identical values, no stats).
+
+    ``sorted_output=False`` with the instrumented hash engine leaves
+    each output column in table order — valid CSC with unsorted
+    columns, exactly what a hash-based downstream SpKAdd consumes
+    without penalty.  The fast backend's output is sorted either way
+    (a free byproduct of its sort/reduce, charged to nobody).
+
+    ``value_dtype``/``index_dtype`` override the resolved output dtypes
+    (defaults: :func:`repro.kernels.resolve_value_dtype` over (A, B)
+    and the call-level int32-when-it-fits index rule).
     """
     ma, ka = A.shape
     kb, nb = B.shape
@@ -109,43 +163,60 @@ def local_spgemm(
     if accumulator not in ("hash", "sort"):
         raise ValueError(f"unknown accumulator {accumulator!r}")
     st = stats if stats is not None else LocalSpGEMMStats()
-    cols, rows, vals = _expand(A, B)
+    vdt = resolve_value_dtype((A, B), value_dtype)
+    cols, rows, vals = _expand(A, B, vdt)
     st.flops += int(rows.size)
+    idt = resolve_index_dtype(
+        (), index_dtype, shape=(ma, nb), nnz=int(rows.size)
+    )
     if rows.size == 0:
-        return CSCMatrix.zeros((ma, nb))
-    keys = cols * np.int64(ma) + rows
+        return CSCMatrix(
+            (ma, nb),
+            np.zeros(nb + 1, dtype=idt),
+            np.empty(0, dtype=idt),
+            np.empty(0, dtype=vdt),
+            sorted=True,
+            check=False,
+        )
+    keys = composite_keys(cols, rows, ma, width=nb)
+    out_sorted = sorted_output
     if accumulator == "hash":
-        # Symbolic sizing: distinct keys upper-bounded by the expansion.
-        tsize = table_size_for(int(np.unique(keys).size))
-        res = hash_accumulate(keys, vals, tsize)
-        st.hash_ops += res.slot_ops
-        st.probes += res.probes
-        st.table_traffic[tsize * 8] = st.table_traffic.get(tsize * 8, 0.0) + res.slot_ops
-        okeys, ovals = res.keys, res.vals
-        if sorted_output:
-            order = np.argsort(okeys)
-            st.sort_entries += int(okeys.size)
+        eng = resolve_backend(backend)
+        if eng.provides_stats:
+            # Symbolic sizing: distinct keys upper-bounded by the
+            # expansion (the paper's rule, same as SpKAdd's two-phase
+            # scheme).
+            tsize = table_size_for(int(np.unique(keys).size))
+            res = eng.accumulate(keys, vals, tsize)
+            st.hash_ops += res.slot_ops
+            st.probes += res.probes
+            st.table_traffic[tsize * 8] = (
+                st.table_traffic.get(tsize * 8, 0.0) + res.slot_ops
+            )
+            okeys, ovals = res.keys, res.vals
+            if sorted_output:
+                order = np.argsort(okeys)
+                st.sort_entries += int(okeys.size)
+            else:
+                order = np.argsort(okeys // np.int64(ma), kind="stable")
+            okeys, ovals = okeys[order], ovals[order]
         else:
-            order = np.argsort(okeys // np.int64(ma), kind="stable")
-        okeys, ovals = okeys[order], ovals[order]
-    elif accumulator == "sort":
-        order = np.argsort(keys, kind="stable")
-        sk, sv = keys[order], vals[order]
-        is_new = np.empty(sk.size, dtype=bool)
-        is_new[0] = True
-        np.not_equal(sk[1:], sk[:-1], out=is_new[1:])
-        g = np.flatnonzero(is_new)
-        okeys, ovals = sk[g], np.add.reduceat(sv, g)
+            # Fast path: one sort/reduce pass; the output comes back
+            # key-sorted for free, so no sort is performed or charged.
+            res = eng.accumulate(keys, vals)
+            okeys, ovals = res.keys, res.vals
+            out_sorted = True
+    else:  # accumulator == "sort"
+        okeys, ovals = sort_reduce(keys, vals)
         st.sort_entries += int(keys.size)
-    else:
-        raise ValueError(f"unknown accumulator {accumulator!r}")
+        out_sorted = True
     ocols, orows = split_keys(okeys, ma)
     st.out_nnz += int(okeys.size)
     return CSCMatrix(
         (ma, nb),
-        build_indptr(ocols, nb),
-        orows,
+        build_indptr(ocols, nb, index_dtype=idt),
+        orows.astype(idt, copy=False),
         ovals,
-        sorted=sorted_output or accumulator == "sort",
+        sorted=out_sorted,
         check=False,
     )

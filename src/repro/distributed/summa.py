@@ -13,13 +13,38 @@ blocks:
   the operation whose data structure (heap vs hash, sorted vs unsorted)
   is the subject of Fig 6.
 
-Everything executes in-process, rank by rank; results are exact (they
-are verified against a direct single-matrix SpGEMM in the tests) and
-per-rank phase statistics feed the timing model.
+The pipeline is split into three explicit stages — **broadcast**
+(bookkeeping: the Fig 5 dataflow recorded in the
+:class:`~repro.distributed.comm.CommLog` at the blocks' actual dtype
+widths), **local multiply** (the Gustavson kernel of
+:mod:`~repro.distributed.spgemm_local`, routed through the kernel
+registry), and **merge** (one k-way SpKAdd per rank) — and how they
+execute is an :class:`ExecutionPlan`:
+
+* :meth:`ExecutionPlan.paper` (the default) runs everything serially
+  in-process on the instrumented backend, rank by rank — results are
+  exact and the per-rank statistics that feed the Fig 6 timing model
+  are bit-stable;
+* :meth:`ExecutionPlan.production` (or the loose ``backend=`` /
+  ``executor=`` / ``threads=`` / ``deadline=`` / ``resilience=``
+  keywords of :func:`summa_spgemm`) promotes the run onto the
+  production stack: merges go through ``parallel_spkadd`` on the
+  persistent pool registry (reservation-pinned for the whole run, the
+  gateway's pattern), rank pipelines run concurrently, and each rank's
+  merge is submitted asynchronously
+  (:func:`repro.parallel.executor.submit_spkadd`) so the local
+  multiplies of the next ranks overlap the merges in flight.
+
+Results are bit-identical across plans: every accumulation path sums
+duplicates of a key strictly left to right in matrix order, so the
+promoted pipeline is verified bitwise against the serial reference in
+the tests.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -31,6 +56,124 @@ from repro.distributed.comm import CommLog
 from repro.distributed.grid import BlockDistribution, ProcessGrid
 from repro.distributed.spgemm_local import LocalSpGEMMStats, local_spgemm
 from repro.formats.csc import CSCMatrix
+from repro.parallel.resilience import Deadline
+
+#: merge-stage worker count when an explicit multiprocess executor is
+#: named without ``threads=``.
+DEFAULT_MERGE_THREADS = 4
+
+#: rank pipelines in flight for promoted runs (bounded: each holds its
+#: stage intermediates resident).
+DEFAULT_RANK_PARALLELISM = 4
+
+#: SpKAdd methods that require sorted intermediates.
+_NEEDS_SORTED = (
+    "heap", "2way_incremental", "2way_tree",
+    "scipy_incremental", "scipy_tree",
+)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How one SUMMA run executes: backends, executors, and overlap.
+
+    Parameters
+    ----------
+    backend:
+        Kernel backend for the local multiplies *and* the hash-family
+        merges (``"fast"`` / ``"instrumented"``).  ``None`` consults
+        ``REPRO_BACKEND`` and then defaults to ``"instrumented"`` — the
+        paper-faithful engine whose statistics feed the timing model.
+    executor:
+        Merge-stage executor (``"serial"``/``"thread"``/``"process"``/
+        ``"shm"``; ``None``/``"auto"`` consults ``REPRO_EXECUTOR``).
+        Consulted only when ``threads > 1``, like :func:`repro.spkadd`.
+    threads:
+        Workers per merge call (``parallel_spkadd`` fan-out).
+    rank_parallelism:
+        Rank pipelines (multiply chain + merge) in flight at once.
+    overlap:
+        Submit each rank's merge asynchronously
+        (:func:`repro.parallel.executor.submit_spkadd`) instead of
+        blocking the rank pipeline on it — the local multiplies of the
+        following ranks overlap the merges running on the worker pool.
+    deadline:
+        Whole-run time budget in seconds (or a prebuilt
+        :class:`~repro.parallel.resilience.Deadline`); checked between
+        stages and threaded into every merge call as its remaining
+        budget.
+    resilience:
+        :class:`~repro.parallel.resilience.ResiliencePolicy` for the
+        merge calls (chunk retry, fallback chain); ``None`` resolves
+        from the environment per call.
+    materialize:
+        Result placement for shm merges (see :func:`repro.spkadd`);
+        the default keeps zero-copy segment-backed blocks.
+    """
+
+    backend: Optional[str] = None
+    executor: Optional[str] = None
+    threads: int = 1
+    rank_parallelism: int = 1
+    overlap: bool = False
+    deadline: Optional[object] = None
+    resilience: Optional[object] = None
+    materialize: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        # PR 7 convention: malformed knobs are rejected loudly, naming
+        # the argument, instead of silently degrading to serial.
+        for name in ("threads", "rank_parallelism"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                raise ValueError(
+                    f"ExecutionPlan {name} must be a positive integer, "
+                    f"got {value!r}"
+                )
+        from repro.parallel.executor import EXECUTORS
+
+        if self.executor not in (None, "auto") + EXECUTORS:
+            raise ValueError(
+                f"ExecutionPlan executor must be one of {EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+        if self.backend not in (None, "auto"):
+            from repro.kernels import get_backend
+
+            get_backend(self.backend)  # raises ValueError, naming it
+
+    @classmethod
+    def paper(cls) -> "ExecutionPlan":
+        """The paper-faithful pinning: serial, instrumented, no overlap.
+
+        Figure reproduction (``experiments/fig6.py``) runs under this
+        plan so its per-rank statistics — and therefore its modelled
+        phase times — are bit-stable regardless of ``REPRO_BACKEND`` /
+        ``REPRO_EXECUTOR`` in the environment.
+        """
+        return cls(backend="instrumented", threads=1,
+                   rank_parallelism=1, overlap=False)
+
+    @classmethod
+    def production(
+        cls,
+        *,
+        backend: str = "fast",
+        executor: str = "shm",
+        threads: int = DEFAULT_MERGE_THREADS,
+        rank_parallelism: int = DEFAULT_RANK_PARALLELISM,
+        overlap: bool = True,
+        deadline=None,
+        resilience=None,
+        materialize: Optional[bool] = None,
+    ) -> "ExecutionPlan":
+        """The promoted defaults: fast kernels, shm merges, overlap on."""
+        return cls(
+            backend=backend, executor=executor, threads=threads,
+            rank_parallelism=rank_parallelism, overlap=overlap,
+            deadline=deadline, resilience=resilience,
+            materialize=materialize,
+        )
 
 
 @dataclass
@@ -59,6 +202,7 @@ class SummaResult:
     comm: CommLog
     row_bounds: np.ndarray
     col_bounds: np.ndarray
+    plan: Optional[ExecutionPlan] = None
 
     def assemble(self) -> CSCMatrix:
         """Gather the distributed result into one matrix (verification)."""
@@ -82,6 +226,46 @@ class SummaResult:
         }
 
 
+def _resolve_plan(
+    plan: Optional[ExecutionPlan],
+    *,
+    grid: ProcessGrid,
+    backend, executor, threads, deadline, resilience,
+) -> ExecutionPlan:
+    loose = {
+        "backend": backend, "executor": executor, "threads": threads,
+        "deadline": deadline, "resilience": resilience,
+    }
+    given = {k: v for k, v in loose.items() if v is not None}
+    if plan is not None:
+        if given:
+            raise ValueError(
+                "pass either plan= or the loose execution keywords "
+                f"({', '.join(sorted(given))}=), not both"
+            )
+        return plan
+    if not given:
+        return ExecutionPlan.paper()
+    if threads is None:
+        threads = (
+            DEFAULT_MERGE_THREADS
+            if executor not in (None, "auto", "serial")
+            else 1
+        )
+    parallel = threads > 1
+    return ExecutionPlan(
+        backend=backend,
+        executor=executor,
+        threads=threads,
+        rank_parallelism=(
+            min(grid.size, DEFAULT_RANK_PARALLELISM) if parallel else 1
+        ),
+        overlap=parallel,
+        deadline=deadline,
+        resilience=resilience,
+    )
+
+
 def summa_spgemm(
     A: CSCMatrix,
     B: CSCMatrix,
@@ -92,8 +276,14 @@ def summa_spgemm(
     sorted_intermediates: Optional[bool] = None,
     comm: Optional[CommLog] = None,
     spkadd_kwargs: Optional[dict] = None,
+    plan: Optional[ExecutionPlan] = None,
+    backend: Optional[str] = None,
+    executor: Optional[str] = None,
+    threads: Optional[int] = None,
+    deadline=None,
+    resilience=None,
 ) -> SummaResult:
-    """Run the simulated sparse SUMMA.
+    """Run the sparse SUMMA pipeline.
 
     Parameters
     ----------
@@ -102,7 +292,9 @@ def summa_spgemm(
     stages:
         Number of inner-dimension blocks (k of the final SpKAdd).
         Defaults to ``grid.cols`` (square-grid convention where each
-        process column contributes one stage).
+        process column contributes one stage).  Must be positive and at
+        most the inner dimension (every stage owns a nonempty inner
+        block range).
     spkadd_method:
         SpKAdd method for the final reduction: ``"heap"``, ``"hash"``,
         ``"sliding_hash"``, ...  (any :func:`repro.spkadd` method).
@@ -111,19 +303,46 @@ def summa_spgemm(
         the requirement of the chosen SpKAdd method (heap/2-way need
         sorted inputs; hash and SPA do not) — leaving it to default
         reproduces the paper's "unsorted hash" advantage.
+    plan:
+        An :class:`ExecutionPlan`.  The default is
+        :meth:`ExecutionPlan.paper` — serial, instrumented, bit-stable
+        statistics.  Alternatively pass the loose keywords below (they
+        build a plan; combining them with ``plan=`` is an error).
+    backend, executor, threads, deadline, resilience:
+        Loose plan keywords: kernel backend for multiply + merge, merge
+        executor/fan-out, whole-run deadline, and resilience policy.
+        Naming a multiprocess ``executor=`` without ``threads=``
+        defaults the merge fan-out to ``DEFAULT_MERGE_THREADS`` and
+        turns on rank concurrency + overlap (the promoted path).
     """
     m, l1 = A.shape
     l2, n = B.shape
     if l1 != l2:
         raise ValueError(f"inner dimensions differ: {A.shape} x {B.shape}")
     S = stages if stages is not None else grid.cols
-    needs_sorted = spkadd_method in (
-        "heap", "2way_incremental", "2way_tree", "scipy_incremental", "scipy_tree"
+    if not isinstance(S, (int, np.integer)) or S < 1:
+        raise ValueError(
+            f"stages must be a positive integer, got {stages!r}"
+        )
+    if S > l1:
+        raise ValueError(
+            f"stages must be <= the inner dimension ({l1}), got "
+            f"stages={S}: every SUMMA stage needs a nonempty inner block"
+        )
+    plan = _resolve_plan(
+        plan, grid=grid, backend=backend, executor=executor,
+        threads=threads, deadline=deadline, resilience=resilience,
     )
-    sort_local = needs_sorted if sorted_intermediates is None else sorted_intermediates
+    needs_sorted = spkadd_method in _NEEDS_SORTED
+    sort_local = (
+        needs_sorted if sorted_intermediates is None else sorted_intermediates
+    )
     if needs_sorted and not sort_local:
-        raise ValueError(f"{spkadd_method} SpKAdd requires sorted intermediates")
+        raise ValueError(
+            f"{spkadd_method} SpKAdd requires sorted intermediates"
+        )
     log = comm if comm is not None else CommLog()
+    dl = Deadline.resolve(plan.deadline)
 
     distA = BlockDistribution.distribute(A, grid.rows, S)
     distB = BlockDistribution.distribute(B, S, grid.cols)
@@ -133,49 +352,76 @@ def summa_spgemm(
         for i in range(grid.rows)
         for j in range(grid.cols)
     ]
-    intermediates: List[List[CSCMatrix]] = [[] for _ in range(grid.size)]
 
+    # ---- broadcast stage -------------------------------------------------
+    # Pure dataflow bookkeeping (Fig 5): volumes at the blocks' actual
+    # value/index dtype widths.
     for s in range(S):
         for i in range(grid.rows):
             # A(i, s) broadcast along grid row i.
-            log.bcast(s, "bcast_A", grid.rank(i, s % grid.cols),
-                      grid.cols, distA.block(i, s).nbytes)
+            log.bcast_block(s, "bcast_A", grid.rank(i, s % grid.cols),
+                            grid.cols, distA.block(i, s))
         for j in range(grid.cols):
             # B(s, j) broadcast along grid column j.
-            log.bcast(s, "bcast_B", grid.rank(s % grid.rows, j),
-                      grid.rows, distB.block(s, j).nbytes)
-        for rec in ranks:
-            i, j = rec.coords
-            blkA = distA.block(i, s)
-            blkB = distB.block(s, j)
+            log.bcast_block(s, "bcast_B", grid.rank(s % grid.rows, j),
+                            grid.rows, distB.block(s, j))
+
+    # ---- merge-call construction ----------------------------------------
+    merge_kw = dict(spkadd_kwargs or {})
+    if spkadd_method in BACKEND_AWARE_METHODS:
+        # The simulation reports per-phase op totals, so hash-family
+        # merges default to the instrumented engine unless the plan (or
+        # spkadd_kwargs) picks one.
+        merge_kw.setdefault("backend", plan.backend or "instrumented")
+
+    def _multiply(rec: RankRecord) -> List[CSCMatrix]:
+        """Local-multiply stage: one rank's S Gustavson products."""
+        i, j = rec.coords
+        pieces: List[CSCMatrix] = []
+        for s in range(S):
+            dl.check(f"SUMMA local multiply (rank {rec.rank}, stage {s})")
             prod = local_spgemm(
-                blkA,
-                blkB,
+                distA.block(i, s),
+                distB.block(s, j),
                 accumulator="hash",
                 sorted_output=sort_local,
                 stats=rec.multiply,
+                backend=plan.backend,
             )
             rec.intermediate_nnz += prod.nnz
-            intermediates[grid.rank(i, j)].append(prod)
+            pieces.append(prod)
+        return pieces
+
+    def _merge(rec: RankRecord, pieces: List[CSCMatrix]):
+        """Merge stage (blocking): one k-way SpKAdd over the rank's
+        intermediates, on the plan's executor."""
+        dl.check(f"SUMMA merge (rank {rec.rank})")
+        return spkadd(
+            pieces, method=spkadd_method, threads=plan.threads,
+            executor=plan.executor, deadline=dl.remaining(),
+            resilience=plan.resilience, materialize=plan.materialize,
+            **merge_kw,
+        )
 
     c_blocks: List[List[CSCMatrix]] = [
         [None] * grid.cols for _ in range(grid.rows)  # type: ignore[list-item]
     ]
-    for rec in ranks:
+
+    def _finish(rec: RankRecord, result) -> None:
         i, j = rec.coords
-        pieces = intermediates[rec.rank]
-        # Run the chosen SpKAdd over this rank's intermediates.  The
-        # simulation reports per-phase op totals, so hash-family methods
-        # default to the instrumented engine here (overridable through
-        # spkadd_kwargs).
-        kw = dict(spkadd_kwargs or {})
-        if spkadd_method in BACKEND_AWARE_METHODS:
-            kw.setdefault("backend", "instrumented")
-        result = spkadd(pieces, method=spkadd_method, **kw)
         rec.spkadd_stats = result.stats
         rec.spkadd_symbolic = result.stats_symbolic
         rec.result_nnz = result.matrix.nnz
         c_blocks[i][j] = result.matrix
+
+    # ---- local-multiply + merge stages ----------------------------------
+    if plan.rank_parallelism == 1 and not plan.overlap:
+        # The paper-faithful serial engine: rank by rank, in rank order.
+        for rec in ranks:
+            _finish(rec, _merge(rec, _multiply(rec)))
+    else:
+        _run_pipelined(ranks, plan, dl, _multiply, _merge, _finish,
+                       spkadd_method, merge_kw)
 
     return SummaResult(
         grid=grid,
@@ -187,4 +433,85 @@ def summa_spgemm(
         comm=log,
         row_bounds=distA.row_bounds,
         col_bounds=distB.col_bounds,
+        plan=plan,
     )
+
+
+def _run_pipelined(
+    ranks, plan, dl, _multiply, _merge, _finish, spkadd_method, merge_kw
+) -> None:
+    """The promoted engine: concurrent rank pipelines with overlap.
+
+    ``rank_parallelism`` multiply chains run concurrently on a local
+    thread pool (the Gustavson kernel is NumPy-bound and releases the
+    GIL).  With ``overlap``, each rank's merge is submitted through
+    :func:`~repro.parallel.executor.submit_spkadd` the moment its last
+    stage product lands, so the multiplies of the following ranks
+    overlap the merges executing on the worker pools.  Multiprocess
+    merge executors are **reservation-pinned** for the whole run (the
+    gateway's pattern): all concurrent rank merges share one warm pool
+    that LRU eviction cannot touch mid-run.
+    """
+    from repro.parallel.executor import resolve_executor, submit_spkadd
+    from repro.parallel.pools import reserve_pool
+
+    with ExitStack() as stack:
+        if plan.threads > 1:
+            kind = resolve_executor(plan.executor)
+            if kind in ("process", "shm"):
+                stack.enter_context(
+                    reserve_pool(kind, plan.threads, deadline=dl)
+                )
+        rank_pool = stack.enter_context(
+            ThreadPoolExecutor(
+                max_workers=plan.rank_parallelism,
+                thread_name_prefix="summa-rank",
+            )
+        )
+
+        if not plan.overlap:
+            futs = {
+                rank_pool.submit(
+                    lambda r: _finish(r, _merge(r, _multiply(r))), rec
+                ): rec
+                for rec in ranks
+            }
+            _collect(futs)
+            return
+
+        merge_futs = {}
+
+        def _chain(rec):
+            pieces = _multiply(rec)
+            dl.check(f"SUMMA merge submit (rank {rec.rank})")
+            # The overlap seam: hand the merge to the submitter pool and
+            # return immediately — this rank thread moves on to the next
+            # rank's multiplies while the merge runs on the worker pool.
+            return submit_spkadd(
+                pieces, method=spkadd_method, threads=plan.threads,
+                executor=plan.executor, deadline=dl.remaining(),
+                resilience=plan.resilience, materialize=plan.materialize,
+                **merge_kw,
+            )
+
+        mult_futs = {rank_pool.submit(_chain, rec): rec for rec in ranks}
+        try:
+            _collect(mult_futs)
+            for fut, rec in mult_futs.items():
+                merge_futs[fut.result()] = rec
+            _collect(merge_futs)
+        finally:
+            for fut in merge_futs:
+                fut.cancel()
+        for fut, rec in merge_futs.items():
+            _finish(rec, fut.result())
+
+
+def _collect(futs) -> None:
+    """Wait on a future->rank map; first failure cancels the rest."""
+    done, not_done = wait(futs, return_when=FIRST_EXCEPTION)
+    failed = next((f for f in done if f.exception() is not None), None)
+    if failed is not None:
+        for f in not_done:
+            f.cancel()
+        raise failed.exception()

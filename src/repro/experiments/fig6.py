@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.distributed.grid import ProcessGrid
-from repro.distributed.summa import summa_spgemm
+from repro.distributed.summa import ExecutionPlan, summa_spgemm
 from repro.distributed.timing import SpGEMMPhaseTimes, spgemm_phase_times
 from repro.experiments.calibration import calibrated_cost_model
 from repro.experiments.config import ReproScale
@@ -117,8 +117,12 @@ def run_fig6(
     cm = calibrated_cost_model(machine, run["threads"], scale=sc)
     phase_times: Dict[str, SpGEMMPhaseTimes] = {}
     for cfg_name, cfg in CONFIGS.items():
+        # Pinned to the paper plan: serial, instrumented, no overlap —
+        # the per-rank statistics feeding the timing model stay
+        # bit-stable no matter what REPRO_BACKEND/REPRO_EXECUTOR say.
         res = summa_spgemm(
             A, A, grid=grid, stages=run["stages"],
+            plan=ExecutionPlan.paper(),
             spkadd_kwargs={"block_cols": 1} if cfg["spkadd_method"] == "hash" else None,
             **cfg,
         )

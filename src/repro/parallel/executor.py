@@ -695,6 +695,50 @@ def parallel_spkadd(
     return SpKAddResult(out, merged, merged_sym, method=method)
 
 
+# ---------------------------------------------------------------------------
+# Asynchronous submission (the overlap seam).
+# ---------------------------------------------------------------------------
+
+_SUBMIT_POOL: Optional[ThreadPoolExecutor] = None
+_SUBMIT_POOL_LOCK = threading.Lock()
+
+
+def _submit_pool() -> ThreadPoolExecutor:
+    global _SUBMIT_POOL
+    with _SUBMIT_POOL_LOCK:
+        if _SUBMIT_POOL is None:
+            _SUBMIT_POOL = ThreadPoolExecutor(
+                max_workers=min(32, (os.cpu_count() or 4) * 2),
+                thread_name_prefix="spkadd-submit",
+            )
+        return _SUBMIT_POOL
+
+
+def submit_spkadd(mats: Sequence[CSCMatrix], method: str = "hash", **kwargs):
+    """Run :func:`repro.spkadd` asynchronously; returns a ``Future``.
+
+    The public overlap seam: the call is driven by a small shared
+    daemon of submitter threads, so the caller is not blocked on chunk
+    execution *or* result assembly — ``future.result()`` yields the
+    finished :class:`~repro.core.api.SpKAddResult`.  The promoted SUMMA
+    pipeline uses this to keep local multiplies running while merges
+    are in flight on the worker pools; any pipeline that wants to
+    overlap a merge with its own compute can do the same.
+
+    Accepts exactly the keyword surface of :func:`repro.spkadd`
+    (``threads=``, ``executor=``, ``backend=``, ``deadline=``,
+    ``resilience=``, ...).  Because the kernel work of a parallel call
+    happens in pool workers (which release or sidestep the GIL), the
+    submitter thread spends its life waiting, not computing; the pool
+    is shared, bounded, and created lazily.  Submitted tasks are
+    independent — a queued task never waits on another queued task, so
+    the bounded pool cannot deadlock.
+    """
+    from repro.core.api import spkadd
+
+    return _submit_pool().submit(spkadd, mats, method, **kwargs)
+
+
 def simulate_parallel_time(
     col_costs: np.ndarray,
     threads: int,

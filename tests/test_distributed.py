@@ -6,7 +6,7 @@ import pytest
 from repro.distributed.comm import CommLog
 from repro.distributed.grid import BlockDistribution, ProcessGrid, block_bounds
 from repro.distributed.spgemm_local import LocalSpGEMMStats, local_spgemm
-from repro.distributed.summa import summa_spgemm
+from repro.distributed.summa import ExecutionPlan, summa_spgemm
 from repro.distributed.timing import spgemm_phase_times
 from repro.formats.convert import from_scipy, to_scipy
 from repro.formats.csc import CSCMatrix
@@ -17,6 +17,19 @@ from repro.machine.spec import CORI_KNL
 
 def spgemm_oracle(A, B):
     return from_scipy((to_scipy(A) @ to_scipy(B)).tocsc(), "csc")
+
+
+def assert_bit_identical(a, b, label=""):
+    """The promotion contract: same dtypes, same index arrays, values
+    compared bitwise (catches sign-of-zero / last-ulp drift that
+    allclose-style checks would wave through)."""
+    assert a.shape == b.shape, label
+    assert a.indptr.dtype == b.indptr.dtype, label
+    assert a.indices.dtype == b.indices.dtype, label
+    assert a.data.dtype == b.data.dtype, label
+    assert np.array_equal(a.indptr, b.indptr), label
+    assert np.array_equal(a.indices, b.indices), label
+    assert np.array_equal(a.data.view(np.uint8), b.data.view(np.uint8)), label
 
 
 class TestGrid:
@@ -170,3 +183,183 @@ class TestSumma:
         totals = res.phase_totals()
         assert totals["flops_total"] > 0
         assert totals["spkadd_ops_total"] > 0
+
+
+def _operands(value_dtype):
+    """The conformance workload: a skewed square times its transpose-ish
+    partner, cast to the requested value dtype."""
+    A = rmat(128, 128, d=5, seed=31)
+    B = rmat(128, 128, d=5, seed=32)
+    if value_dtype == np.int64:
+        # Exact integer payloads: bit-identity must hold trivially, and
+        # the promoted path must keep the resolved int64 accumulation.
+        cast = lambda M: CSCMatrix(
+            M.shape, M.indptr, M.indices,
+            np.rint(M.data * 8).astype(np.int64), sorted=M.sorted, check=False,
+        )
+    else:
+        cast = lambda M: CSCMatrix(
+            M.shape, M.indptr, M.indices,
+            M.data.astype(value_dtype), sorted=M.sorted, check=False,
+        )
+    return cast(A), cast(B)
+
+
+class TestPromotedConformance:
+    """The promoted SUMMA path is *bit-identical* to the serial paper
+    reference — same indptr/indices bytes, same value bytes — across
+    kernel backends, merge executors, value dtypes, and intermediate
+    sortedness.  This is the contract that lets production runs use the
+    fast/shm stack while the figures stay pinned to the paper plan."""
+
+    GRID = (2, 2)
+    STAGES = 6
+
+    def _reference(self, value_dtype):
+        A, B = _operands(value_dtype)
+        res = summa_spgemm(
+            A, B, grid=ProcessGrid(*self.GRID), stages=self.STAGES
+        )
+        return res.assemble()
+
+    @pytest.mark.parametrize("backend", ["fast", "instrumented"])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "shm"])
+    @pytest.mark.parametrize(
+        "value_dtype", [np.float32, np.float64, np.int64],
+        ids=["f32", "f64", "i64"],
+    )
+    @pytest.mark.parametrize("sorted_im", [True, False],
+                             ids=["sorted", "unsorted"])
+    def test_bit_identical_to_serial_reference(
+        self, backend, executor, value_dtype, sorted_im
+    ):
+        A, B = _operands(value_dtype)
+        plan = ExecutionPlan(
+            backend=backend, executor=executor,
+            threads=1 if executor == "serial" else 2,
+            rank_parallelism=2, overlap=True,
+        )
+        res = summa_spgemm(
+            A, B, grid=ProcessGrid(*self.GRID), stages=self.STAGES,
+            plan=plan, sorted_intermediates=sorted_im,
+        )
+        assert res.plan is plan
+        assert_bit_identical(
+            res.assemble(), self._reference(value_dtype),
+            f"{backend}/{executor}/{np.dtype(value_dtype)}/"
+            f"{'sorted' if sorted_im else 'unsorted'}",
+        )
+
+    def test_loose_kwargs_build_promoted_plan(self):
+        A, B = _operands(np.float64)
+        res = summa_spgemm(
+            A, B, grid=ProcessGrid(*self.GRID), stages=self.STAGES,
+            backend="fast", executor="thread",
+        )
+        assert res.plan.threads > 1 and res.plan.overlap
+        assert_bit_identical(
+            res.assemble(), self._reference(np.float64), "loose kwargs"
+        )
+
+    def test_paper_plan_ignores_backend_env(self, monkeypatch):
+        # Figure runs pin backend="instrumented" in the plan, so the
+        # env knob cannot silently swap the engine and zero the stats.
+        monkeypatch.setenv("REPRO_BACKEND", "fast")
+        A, B = _operands(np.float64)
+        res = summa_spgemm(
+            A, B, grid=ProcessGrid(*self.GRID), stages=self.STAGES
+        )
+        assert all(r.multiply.hash_ops > 0 for r in res.ranks)
+        assert all(r.spkadd_stats.ops > 0 for r in res.ranks)
+
+    def test_deadline_exceeded_raises(self):
+        from repro.parallel.resilience import DeadlineExceeded
+
+        A, B = _operands(np.float64)
+        with pytest.raises(DeadlineExceeded):
+            summa_spgemm(
+                A, B, grid=ProcessGrid(*self.GRID), stages=self.STAGES,
+                plan=ExecutionPlan(deadline=1e-9),
+            )
+
+
+class TestPromotedChaos:
+    def test_worker_kill_mid_merge_recovers_bit_identically(self):
+        # A worker killed on its first merge chunk must be retried by
+        # the resilience layer and the run must still produce the exact
+        # serial-reference bytes.
+        from repro.parallel import faults
+
+        A, B = _operands(np.float64)
+        ref = summa_spgemm(
+            A, B, grid=ProcessGrid(2, 2), stages=6
+        ).assemble()
+        with faults.inject(kill_chunk=0):
+            res = summa_spgemm(
+                A, B, grid=ProcessGrid(2, 2), stages=6,
+                plan=ExecutionPlan.production(
+                    threads=2, rank_parallelism=2
+                ),
+                sorted_intermediates=False,
+            )
+        assert_bit_identical(res.assemble(), ref, "chaos recovery")
+
+
+class TestValidation:
+    def test_grid_rejects_nonpositive_extents(self):
+        with pytest.raises(ValueError, match="rows"):
+            ProcessGrid(0, 2)
+        with pytest.raises(ValueError, match="cols"):
+            ProcessGrid(2, -1)
+
+    def test_stages_validated(self):
+        A = rmat(64, 64, d=4, seed=15)
+        with pytest.raises(ValueError, match="stages"):
+            summa_spgemm(A, A, grid=ProcessGrid(2, 2), stages=0)
+        with pytest.raises(ValueError, match="stages"):
+            summa_spgemm(A, A, grid=ProcessGrid(2, 2), stages=65)
+
+    def test_plan_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="threads"):
+            ExecutionPlan(threads=0)
+        with pytest.raises(ValueError, match="rank_parallelism"):
+            ExecutionPlan(rank_parallelism=-1)
+        with pytest.raises(ValueError, match="executor"):
+            ExecutionPlan(executor="bogus")
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionPlan(backend="bogus")
+
+    def test_plan_and_loose_kwargs_conflict(self):
+        A = rmat(64, 64, d=4, seed=16)
+        with pytest.raises(ValueError, match="plan"):
+            summa_spgemm(
+                A, A, grid=ProcessGrid(2, 2),
+                plan=ExecutionPlan.paper(), backend="fast",
+            )
+
+
+class TestCommDtypeAccounting:
+    def test_narrow_dtypes_halve_broadcast_volume(self):
+        # The comm log accounts blocks at their *actual* dtype widths:
+        # the same sparsity pattern in float32 values moves fewer bytes
+        # than in float64, and the events record the itemsizes.
+        A64 = rmat(128, 128, d=5, seed=17)
+        A32 = CSCMatrix(
+            A64.shape, A64.indptr, A64.indices,
+            A64.data.astype(np.float32), sorted=A64.sorted, check=False,
+        )
+        logs = {}
+        for name, A in (("f64", A64), ("f32", A32)):
+            log = CommLog()
+            summa_spgemm(A, A, grid=ProcessGrid(2, 2), stages=4, comm=log)
+            logs[name] = log
+        assert logs["f32"].total_bytes < logs["f64"].total_bytes
+        ev32 = logs["f32"].events[0]
+        assert ev32.value_itemsize == 4
+        assert ev32.index_itemsize in (4, 8)
+        assert all(e.entries >= 0 for e in logs["f32"].events)
+        # identical sparsity => identical entry counts, byte delta is
+        # exactly the value-width delta (indices are int32 both ways).
+        for e64, e32 in zip(logs["f64"].events, logs["f32"].events):
+            assert e64.entries == e32.entries
+            assert e64.bytes - e32.bytes == 4 * e64.entries
