@@ -60,9 +60,9 @@ class BlockScratch:
     __slots__ = ("cols", "rows", "vals")
 
     def __init__(self) -> None:
-        self.cols = np.empty(0, dtype=np.int64)
-        self.rows = np.empty(0, dtype=np.int64)
-        self.vals = np.empty(0, dtype=np.float64)
+        self.cols = np.empty(0, dtype=_compressed.DEFAULT_INDEX_DTYPE)
+        self.rows = np.empty(0, dtype=_compressed.DEFAULT_INDEX_DTYPE)
+        self.vals = np.empty(0, dtype=_compressed.DEFAULT_VALUE_DTYPE)
 
     def reserve(self, n: int, value_dtype, index_dtype=np.int64) -> None:
         """Ensure capacity for ``n`` entries of ``value_dtype`` values

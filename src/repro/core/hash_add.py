@@ -103,7 +103,9 @@ def hash_symbolic(
         if eng.provides_stats or trace_sink is not None:
             res = eng.accumulate(
                 keys,
-                np.zeros(rows.size, dtype=np.float64),
+                # Dummy values: this is the symbolic pass — only the
+                # distinct-key count survives, the sums are discarded.
+                np.zeros(rows.size, dtype=np.float64),  # repro-lint: disable=L003
                 tsize,
                 capture_trace=trace_sink is not None,
             )

@@ -240,7 +240,9 @@ def hash_count_distinct(
         table_size = table_size_for(len(keys))
     res = hash_accumulate(
         keys,
-        np.zeros(keys.shape[0], dtype=np.float64),
+        # Dummy values: the symbolic phase counts distinct keys and the
+        # accumulated values are discarded, so no resolved dtype applies.
+        np.zeros(keys.shape[0], dtype=np.float64),  # repro-lint: disable=L003
         table_size,
         prime=prime,
         capture_trace=capture_trace,

@@ -15,15 +15,17 @@ experiment runs a *proportionally reduced* instance:
 Every cost-model time measured on the reduced instance extrapolates to
 paper scale with the single multiplier ``scale_m * scale_n``.
 
-Environment overrides: ``REPRO_SCALE_M``, ``REPRO_SCALE_N`` (integers);
-``REPRO_FAST=1`` selects a much smaller preset for CI-speed runs.
+Environment overrides: ``REPRO_SCALE_M``, ``REPRO_SCALE_N`` (integers
+>= 1, validated by the :mod:`repro.env` knob registry with errors that
+name the variable); ``REPRO_FAST=1`` selects a much smaller preset for
+CI-speed runs.
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
+from repro import env
 from repro.machine.spec import MachineSpec
 
 #: Paper-scale workload constants (Section IV-A).
@@ -44,11 +46,11 @@ class ReproScale:
 
     @classmethod
     def from_env(cls) -> "ReproScale":
-        if os.environ.get("REPRO_FAST"):
+        if env.get("REPRO_FAST"):
             return cls(scale_m=64, scale_n=64)
         return cls(
-            scale_m=int(os.environ.get("REPRO_SCALE_M", 16)),
-            scale_n=int(os.environ.get("REPRO_SCALE_N", 16)),
+            scale_m=env.get("REPRO_SCALE_M"),
+            scale_n=env.get("REPRO_SCALE_N"),
         )
 
     @property

@@ -8,10 +8,11 @@ concrete classes supply axis naming.
 
 from __future__ import annotations
 
-import os
 from typing import Tuple
 
 import numpy as np
+
+from repro import env
 
 #: fallback index dtype when the caller supplies no index arrays to
 #: infer from (Python lists land here via ``np.asarray``).  Constructors
@@ -111,9 +112,7 @@ def resolve_index_dtype(mats=(), index_dtype=None, *, shape=None, nnz=None) -> n
     methods, backends, executors, and chunkings.
     """
     if index_dtype is None or index_dtype == "auto":
-        index_dtype = os.environ.get(INDEX_DTYPE_ENV_VAR) or None
-        if index_dtype == "auto":
-            index_dtype = None
+        index_dtype = env.get(INDEX_DTYPE_ENV_VAR)
     floor = np.dtype(np.int32)
     if index_dtype is not None:
         dt = np.dtype(index_dtype)

@@ -24,12 +24,13 @@ accept a ``backend=`` keyword and the :func:`repro.spkadd` facade adds a
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.core.hashtable import HashAccumResult, resolve_value_dtype
 from repro.formats.compressed import resolve_index_dtype
+from repro.formats.csc import CSCMatrix
 
 
 class Backend:
@@ -64,7 +65,7 @@ class Backend:
         raise NotImplementedError
 
     def result_value_dtype(
-        self, mats, value_dtype=None
+        self, mats: Sequence[CSCMatrix], value_dtype: Any = None
     ) -> np.dtype:
         """Value dtype this engine accumulates — and emits — for ``mats``.
 
@@ -78,7 +79,9 @@ class Backend:
         """
         return resolve_value_dtype(mats, value_dtype)
 
-    def result_index_dtype(self, mats, index_dtype=None) -> np.dtype:
+    def result_index_dtype(
+        self, mats: Sequence[CSCMatrix], index_dtype: Any = None
+    ) -> np.dtype:
         """Index dtype this engine allocates — and emits — for ``mats``.
 
         The paper's width rule via
@@ -92,7 +95,7 @@ class Backend:
         """
         return resolve_index_dtype(mats, index_dtype)
 
-    def symbolic_col_nnz(self, mats) -> np.ndarray:
+    def symbolic_col_nnz(self, mats: Sequence[CSCMatrix]) -> np.ndarray:
         """Exact per-column output nnz of ``sum(mats)`` — the sizing
         pre-pass of the shared-memory executor.
 

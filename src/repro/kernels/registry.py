@@ -17,9 +17,9 @@ non-tracing backend is an error rather than a silent downgrade.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Optional, Tuple
 
+from repro import env
 from repro.kernels.base import Backend
 from repro.kernels.fast import FastBackend
 from repro.kernels.instrumented import InstrumentedBackend
@@ -71,7 +71,7 @@ def resolve_backend(
     """
     explicit = name is not None and name != "auto"
     if not explicit:
-        name = os.environ.get(BACKEND_ENV_VAR) or default
+        name = env.get(BACKEND_ENV_VAR) or default
     backend = get_backend(name)
     if need_trace and not backend.supports_trace:
         if explicit:

@@ -1,0 +1,17 @@
+"""repro.lint — AST-based invariant checker for this repository.
+
+``python -m repro.lint`` walks the tree and enforces the concurrency /
+dtype / configuration invariants established by PRs 1–8 (see
+:mod:`repro.lint.rules` for the rule set and
+:mod:`repro.lint.cli` for the command line).
+"""
+
+from repro.lint.rules import (
+    RULES,
+    Rule,
+    Violation,
+    check_source,
+    rule_listing,
+)
+
+__all__ = ["RULES", "Rule", "Violation", "check_source", "rule_listing"]

@@ -1,0 +1,157 @@
+"""Command-line front end: ``python -m repro.lint``.
+
+Walks the repo's Python sources (``src/``, ``tests/``,
+``benchmarks/``, ``examples/`` by default, or explicit paths), runs
+every rule, and reports:
+
+* human-readable ``path:line:col: RULE message`` lines with a fix-it
+  hint (default);
+* GitHub Actions workflow-command annotations (``--github``) so CI
+  violations land on the offending diff line;
+* the machine-readable rule set (``--list-rules``, JSON) so tooling
+  can diff rule IDs across revisions.
+
+Exit status: 0 clean, 1 violations found, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Iterable, List, Tuple
+
+from repro.lint.rules import Violation, check_source, rule_listing
+
+#: directories walked when no explicit paths are given.
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples")
+
+#: directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def find_repo_root(start: str = ".") -> str:
+    """The nearest ancestor containing ``src/repro`` (the tree the
+    default roots are relative to); falls back to ``start``."""
+    current = os.path.abspath(start)
+    while True:
+        if os.path.isdir(os.path.join(current, "src", "repro")):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            return os.path.abspath(start)
+        current = parent
+
+
+def iter_python_files(
+    paths: Iterable[str], root: str
+) -> Iterable[Tuple[str, str]]:
+    """Yield ``(absolute_path, repo_relative_posix_path)`` pairs."""
+    for path in paths:
+        absolute = (
+            path if os.path.isabs(path) else os.path.join(root, path)
+        )
+        if os.path.isfile(absolute):
+            yield absolute, _relative(absolute, root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if d not in _SKIP_DIRS and not d.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    full = os.path.join(dirpath, filename)
+                    yield full, _relative(full, root)
+
+
+def _relative(path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), root)
+    return rel.replace(os.sep, "/")
+
+
+def lint_paths(paths: Iterable[str], root: str) -> Tuple[List[Violation], int]:
+    """Lint every file under ``paths``; returns (violations, n_files)."""
+    violations: List[Violation] = []
+    n_files = 0
+    for absolute, rel in iter_python_files(paths, root):
+        n_files += 1
+        with open(absolute, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        violations.extend(check_source(rel, source))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations, n_files
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checker for this repo: shm allocation "
+            "discipline (L001), central env knobs (L002), resolved "
+            "dtypes (L003), fork safety (L004), deadline threading "
+            "(L005), typed raises (L006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to check (default: "
+            + ", ".join(DEFAULT_ROOTS)
+            + " under the repo root)"
+        ),
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit GitHub Actions ::error annotations instead of text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule set as JSON and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (violations still print)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(json.dumps(rule_listing(), indent=2))
+        return 0
+    root = find_repo_root(os.getcwd())
+    if args.paths:
+        paths = list(args.paths)
+    else:
+        paths = [
+            p
+            for p in DEFAULT_ROOTS
+            if os.path.isdir(os.path.join(root, p))
+        ]
+    violations, n_files = lint_paths(paths, root)
+    for violation in violations:
+        if args.github:
+            print(violation.format_github())
+        else:
+            print(violation.format())
+    if not args.quiet:
+        status = (
+            f"{len(violations)} violation(s)" if violations else "clean"
+        )
+        print(
+            f"repro-lint: checked {n_files} file(s): {status}",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

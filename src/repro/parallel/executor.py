@@ -62,6 +62,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import env
 from repro.core.stats import KernelStats
 from repro.formats.csc import CSCMatrix
 from repro.parallel.partition import split_weighted
@@ -209,7 +210,7 @@ def mp_context(deadline=None):
     behaviour, ``spawn`` to mimic Windows/macOS).  ``deadline`` bounds
     the (first-call-only) forkserver boot.
     """
-    name = os.environ.get(MP_START_ENV_VAR)
+    name = env.get(MP_START_ENV_VAR)
     if not name:
         methods = multiprocessing.get_all_start_methods()
         name = "forkserver" if "forkserver" in methods else None
@@ -237,9 +238,9 @@ def resolve_executor(name: Optional[str] = None) -> str:
     """
     source = "executor argument"
     if name is None or name == "auto":
-        env = os.environ.get(EXECUTOR_ENV_VAR)
-        if env:
-            name = env
+        configured = env.get(EXECUTOR_ENV_VAR)
+        if configured:
+            name = configured
             source = f"{EXECUTOR_ENV_VAR} environment variable"
         else:
             name = "thread"

@@ -186,10 +186,9 @@ def plan_for_call() -> Optional[FaultPlan]:
     """
     if _INSTALLED is not None:
         return _INSTALLED
-    raw = os.environ.get(FAULTS_ENV_VAR)
-    if not raw or not raw.strip():
-        return None
-    return parse_plan(raw)
+    from repro import env
+
+    return env.get(FAULTS_ENV_VAR)
 
 
 def parse_plan(raw: str) -> FaultPlan:

@@ -15,7 +15,7 @@ def row_partition_bounds(m: int, parts: int) -> np.ndarray:
     ``r1 = i*m/parts, r2 = (i+1)*m/parts`` (Algorithm 7 line 9).
     """
     if parts < 1:
-        raise ValueError("parts must be >= 1")
+        raise ValueError(f"parts must be >= 1, got {parts}")
     return (np.arange(parts + 1, dtype=np.int64) * m) // parts
 
 
@@ -26,7 +26,7 @@ def split_even(n: int, chunks: int) -> List[Tuple[int, int]]:
     ``[bounds[t], bounds[t+1])`` regardless of their cost.
     """
     if chunks < 1:
-        raise ValueError("chunks must be >= 1")
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
     bounds = (np.arange(chunks + 1, dtype=np.int64) * n) // chunks
     return [(int(bounds[i]), int(bounds[i + 1])) for i in range(chunks)]
 
@@ -42,7 +42,7 @@ def split_weighted(weights: np.ndarray, chunks: int) -> List[Tuple[int, int]]:
     weights = np.asarray(weights, dtype=np.float64)
     n = weights.shape[0]
     if chunks < 1:
-        raise ValueError("chunks must be >= 1")
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
     prefix = np.concatenate([[0.0], np.cumsum(weights)])
     total = prefix[-1]
     if total == 0:

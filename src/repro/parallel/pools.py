@@ -299,6 +299,8 @@ class PoolReservation:
         self._acquire(deadline=deadline)
 
     def _acquire(self, *, deadline=None) -> ProcessPoolExecutor:
+        from repro.parallel.resilience import PoolLifecycleError
+
         pool = self._registry._acquire(
             self._kind, self._threads, self._mp_context, leased=True,
             deadline=deadline,
@@ -307,7 +309,10 @@ class PoolReservation:
             if self._closed:
                 # Raced with release(): don't hold a lease forever.
                 self._registry._release_lease(pool)
-                raise RuntimeError("reservation already released")
+                raise PoolLifecycleError(
+                    f"reservation {(self._kind, self._threads)} already "
+                    "released; create a new one with reserve_pool()"
+                )
             old, self._pool = self._pool, pool
         if old is not None and old is not pool:
             self._registry._release_lease(old)
@@ -342,16 +347,24 @@ class PoolReservation:
         self.release()
 
 
-def collect_fail_fast(futures: Sequence[Future]) -> List:
+def collect_fail_fast(futures: Sequence[Future], *, deadline=None) -> List:
     """Results of ``futures`` in submission order, failing fast.
 
     Waits with ``FIRST_EXCEPTION``: the moment any future raises, every
     future still pending is cancelled and the error propagates — the
     caller does not sit through the surviving chunks before hearing
     about the poisoned one.  (Chunks already *running* cannot be
-    cancelled; their results are simply never collected.)
+    cancelled; their results are simply never collected.)  ``deadline``
+    (seconds or a :class:`~repro.parallel.resilience.Deadline`) bounds
+    the wait: expiry cancels the stragglers and raises
+    :class:`~repro.parallel.resilience.DeadlineExceeded`.
     """
-    done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+    from repro.parallel.resilience import Deadline, DeadlineExceeded
+
+    deadline = Deadline.resolve(deadline)
+    done, pending = wait(
+        futures, timeout=deadline.remaining(), return_when=FIRST_EXCEPTION
+    )
     failed = next(
         (f for f in done if not f.cancelled() and f.exception() is not None),
         None,
@@ -360,6 +373,14 @@ def collect_fail_fast(futures: Sequence[Future]) -> List:
         for f in pending:
             f.cancel()
         failed.result()  # re-raises with the worker traceback attached
+    if pending:
+        # No failure and futures left over: the bounded wait timed out.
+        for f in pending:
+            f.cancel()
+        raise DeadlineExceeded(
+            f"deadline of {deadline.seconds}s exceeded waiting on "
+            f"{len(pending)} of {len(futures)} task(s)"
+        )
     return [f.result() for f in futures]
 
 

@@ -32,13 +32,14 @@ loops and call :func:`collect_resilient` /
 from __future__ import annotations
 
 import dataclasses
-import os
 import random
 import time
 from concurrent.futures import FIRST_EXCEPTION, Future, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro import env
+from repro.env import DEFAULT_BOOT_TIMEOUT_S
 from repro.parallel.faults import InjectedFault
 
 #: environment variable supplying a default per-call deadline (seconds).
@@ -54,12 +55,9 @@ MAX_RETRIES_ENV_VAR = "REPRO_MAX_RETRIES"
 FALLBACK_ENV_VAR = "REPRO_FALLBACK"
 
 #: environment variable bounding the forkserver boot wait (seconds).
+#: (Its default, :data:`DEFAULT_BOOT_TIMEOUT_S`, is declared in the
+#: :mod:`repro.env` knob table and re-exported here.)
 BOOT_TIMEOUT_ENV_VAR = "REPRO_BOOT_TIMEOUT"
-
-#: default bound on the forkserver boot: generous (a loaded CI box can
-#: be slow) but finite — a wedged fork server must not hang ``get_pool``
-#: forever.
-DEFAULT_BOOT_TIMEOUT_S = 60.0
 
 #: the degradation chain, most- to least-capable.  Fallback always
 #: moves rightward: an executor only ever degrades toward ``serial``,
@@ -100,6 +98,21 @@ class PoolBootTimeout(ExecutorUnusable, TimeoutError):
     """The forkserver did not boot within its bounded wait."""
 
 
+class ChunkInvariantError(ResilienceError):
+    """A worker chunk hit a sizing/dtype invariant violation.
+
+    Deterministic by construction (the symbolic bound or resolved dtype
+    was wrong, not the worker), so it keeps PR 5's fail-fast contract:
+    never retried, never degraded around.  Module-level so it pickles
+    cleanly across the process-pool boundary.
+    """
+
+
+class PoolLifecycleError(ResilienceError):
+    """A pool lease/reservation was used outside its lifecycle (e.g.
+    released twice, or used after release)."""
+
+
 class RetriesExhausted(ExecutorUnusable):
     """Transient chunk failures outlived the retry budget."""
 
@@ -133,9 +146,9 @@ class Deadline:
         )
 
     @classmethod
-    def resolve(cls, value) -> "Deadline":
+    def resolve(cls, value: Union["Deadline", float, None]) -> "Deadline":
         """Coerce ``None`` (unlimited) / seconds / a ``Deadline``."""
-        if isinstance(value, cls):
+        if isinstance(value, Deadline):
             return value
         return cls(value)
 
@@ -244,7 +257,8 @@ class ResiliencePolicy:
 
 
 def resolve_policy(
-    policy: Optional[ResiliencePolicy] = None, deadline=None
+    policy: Optional[ResiliencePolicy] = None,
+    deadline: Union[Deadline, float, None] = None,
 ) -> ResiliencePolicy:
     """Resolve the call's policy: explicit argument > environment >
     defaults; an explicit ``deadline`` (seconds) overrides the policy's.
@@ -261,9 +275,9 @@ def resolve_policy(
     validate_resilience_env()
     if policy is None:
         policy = ResiliencePolicy(
-            max_retries=_env_max_retries(),
-            deadline_s=_env_deadline(),
-            fallback=_parse_fallback_env(),
+            max_retries=env.get(MAX_RETRIES_ENV_VAR),
+            deadline_s=env.get(DEADLINE_ENV_VAR),
+            fallback=env.get(FALLBACK_ENV_VAR),
         )
     if deadline is not None:
         if isinstance(deadline, Deadline):
@@ -288,87 +302,22 @@ def validate_resilience_env() -> None:
     fails the run immediately with an error naming the variable —
     instead of being carried silently until the one code path that
     happens to read it (the forkserver boot, a retry loop) explodes
-    mid-degradation.
+    mid-degradation.  The parsers and range checks themselves live in
+    the :mod:`repro.env` knob table; this is the resilience-scoped view
+    of :func:`repro.env.validate`.
     """
-    _env_max_retries()
-    _env_deadline()
-    _parse_fallback_env()
-    resolve_boot_timeout()
-
-
-def _env_max_retries() -> int:
-    value = _env_int(MAX_RETRIES_ENV_VAR, 2)
-    if value < 0:
-        raise ValueError(
-            f"max_retries must be >= 0, got {value} "
-            f"(from the {MAX_RETRIES_ENV_VAR} environment variable)"
-        )
-    return value
-
-
-def _env_deadline() -> Optional[float]:
-    value = _env_float(DEADLINE_ENV_VAR, None)
-    if value is not None and value <= 0:
-        raise ValueError(
-            f"deadline_s must be positive, got {value} "
-            f"(from the {DEADLINE_ENV_VAR} environment variable)"
-        )
-    return value
+    env.validate(
+        MAX_RETRIES_ENV_VAR,
+        DEADLINE_ENV_VAR,
+        FALLBACK_ENV_VAR,
+        BOOT_TIMEOUT_ENV_VAR,
+    )
 
 
 def resolve_boot_timeout() -> float:
     """The forkserver boot bound (``REPRO_BOOT_TIMEOUT`` or default)."""
-    value = _env_float(BOOT_TIMEOUT_ENV_VAR, DEFAULT_BOOT_TIMEOUT_S)
-    if value is None or value <= 0:
-        raise ValueError(
-            f"{BOOT_TIMEOUT_ENV_VAR} must be a positive number of seconds, "
-            f"got {os.environ.get(BOOT_TIMEOUT_ENV_VAR)!r}"
-        )
+    value: float = env.get(BOOT_TIMEOUT_ENV_VAR)
     return value
-
-
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        raise ValueError(
-            f"{name} must be an integer, got {raw!r}"
-        ) from None
-
-
-def _env_float(name: str, default: Optional[float]) -> Optional[float]:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        raise ValueError(
-            f"{name} must be a number of seconds, got {raw!r}"
-        ) from None
-
-
-def _parse_fallback_env() -> Optional[Tuple[str, ...]]:
-    raw = os.environ.get(FALLBACK_ENV_VAR)
-    if raw is None or not raw.strip():
-        return None
-    mode = raw.strip().lower()
-    if mode in ("auto", "on", "default", "1", "true"):
-        return None
-    if mode in ("off", "none", "0", "false", "disabled"):
-        return ()
-    stages = tuple(s.strip() for s in mode.split(",") if s.strip())
-    bad = [s for s in stages if s not in FALLBACK_STAGES]
-    if bad:
-        raise ValueError(
-            f"unknown fallback stage(s) {bad} in the {FALLBACK_ENV_VAR} "
-            f"environment variable; choose from {FALLBACK_STAGES}, "
-            "or 'off' / 'auto'"
-        )
-    return stages
 
 
 # ---------------------------------------------------------------------------
@@ -454,9 +403,11 @@ def collect_resilient(
 
 __all__ = [
     "BOOT_TIMEOUT_ENV_VAR",
+    "ChunkInvariantError",
     "DEADLINE_ENV_VAR",
     "DEFAULT_BOOT_TIMEOUT_S",
     "Deadline",
+    "PoolLifecycleError",
     "DeadlineExceeded",
     "ExecutorUnusable",
     "FALLBACK_ENV_VAR",

@@ -79,9 +79,9 @@ def dynamic_schedule(
     col_costs = np.asarray(col_costs, dtype=np.float64)
     n = col_costs.shape[0]
     if threads < 1:
-        raise ValueError("threads must be >= 1")
+        raise ValueError(f"threads must be >= 1, got {threads}")
     if chunk < 1:
-        raise ValueError("chunk must be >= 1")
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
     prefix = np.concatenate([[0.0], np.cumsum(col_costs)])
     assignments: List[List[Tuple[int, int]]] = [[] for _ in range(threads)]
     ready = [(0.0, t) for t in range(threads)]
@@ -110,5 +110,7 @@ def schedule_makespan(
     elif policy == "dynamic":
         sched = dynamic_schedule(costs, threads, chunk=chunk)
     else:
-        raise ValueError(f"unknown policy {policy!r}")
+        raise ValueError(
+            f"unknown policy {policy!r}; choose 'static' or 'dynamic'"
+        )
     return sched.makespan(costs)

@@ -135,18 +135,10 @@ def resolve_shm_results(materialize: Optional[bool] = None) -> bool:
     """
     if materialize is not None:
         return bool(materialize)
-    raw = os.environ.get(SHM_RESULTS_ENV_VAR)
-    if not raw:
-        return False
-    mode = raw.strip().lower().replace("_", "-")
-    if mode in ("zero-copy", "zerocopy"):
-        return False
-    if mode in ("materialize", "copy"):
-        return True
-    raise ValueError(
-        f"unknown shm result mode {raw!r} (from the {SHM_RESULTS_ENV_VAR} "
-        "environment variable); choose 'zero-copy' or 'materialize'"
-    )
+    from repro import env
+
+    result: bool = env.get(SHM_RESULTS_ENV_VAR)
+    return result
 
 
 def _new_segment_name() -> str:
@@ -519,6 +511,7 @@ def _compute_chunk(task) -> tuple:
         apply_chunk_fault(fault)
     # Deferred: executor imports this module.
     from repro.parallel.executor import _run_chunk
+    from repro.parallel.resilience import ChunkInvariantError
 
     views = [A.col_view(j0, j1) for A in _worker_mats(state)]
     _, sub, st, st_sym = _run_chunk(
@@ -529,7 +522,7 @@ def _compute_chunk(task) -> tuple:
     idx_buf = att.attach(scratch_indices)
     dat_buf = att.attach(scratch_data)
     if sub.nnz > idx_buf.size:
-        raise RuntimeError(
+        raise ChunkInvariantError(
             f"chunk [{j0}, {j1}) produced {sub.nnz} entries, more than its "
             f"input-nnz bound {idx_buf.size} — kernel violated the "
             "structural-union invariant"
@@ -544,13 +537,13 @@ def _compute_chunk(task) -> tuple:
     # values or indices than the parent resolved) would silently
     # round/wrap, so it stays a hard error.
     if not np.can_cast(sub.data.dtype, dat_buf.dtype, casting="safe"):
-        raise RuntimeError(
+        raise ChunkInvariantError(
             f"chunk [{j0}, {j1}) emitted {sub.data.dtype} values but the "
             f"shared scratch is {dat_buf.dtype}; the kernel disagrees "
             "with resolve_value_dtype — staging would lose precision"
         )
     if not np.can_cast(sub.indices.dtype, idx_buf.dtype, casting="safe"):
-        raise RuntimeError(
+        raise ChunkInvariantError(
             f"chunk [{j0}, {j1}) emitted {sub.indices.dtype} indices but "
             f"the shared scratch is {idx_buf.dtype}; the kernel disagrees "
             "with resolve_index_dtype — staging would wrap indices"

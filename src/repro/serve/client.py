@@ -32,6 +32,7 @@ from repro.serve import protocol
 from repro.serve.protocol import (
     AttachedSegments,
     GatewayConnectionError,
+    ResultReleased,
     encode_frame,
     pack_matrices,
     raise_for_error,
@@ -76,7 +77,10 @@ class ShmResult:
     def materialize(self) -> CSCMatrix:
         """A private copy, safe to keep after :meth:`release`."""
         if self.matrix is None:
-            raise RuntimeError("ShmResult already released")
+            raise ResultReleased(
+                f"shm result {self.token!r} already released; materialize "
+                "before release() or request response='inline'"
+            )
         return CSCMatrix(
             self.matrix.shape,
             np.array(self.matrix.indptr, copy=True),
@@ -191,7 +195,10 @@ class GatewayClient:
         """
         mats = list(mats)
         if not mats:
-            raise ValueError("need at least one matrix")
+            raise ValueError(
+                "mats must contain at least one matrix, got an empty "
+                "collection"
+            )
         # The wire carries ONE shape per request; a mismatched matrix
         # whose indices happen to fit the declared shape would
         # otherwise reinterpret cleanly and sum to a silently wrong

@@ -84,6 +84,11 @@ class GatewayConnectionError(GatewayError, ConnectionError):
     """The transport failed and the client could not recover it."""
 
 
+class ResultReleased(GatewayError):
+    """A shm result lease was used after :meth:`ShmResult.release`
+    (or after its owning connection closed)."""
+
+
 #: error-code wire names -> exception types raised client-side.  The
 #: resilience family maps onto the *library's* exceptions so a gateway
 #: caller handles the same types an in-process caller would.
@@ -371,6 +376,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "RequestInvalid",
+    "ResultReleased",
     "ShedError",
     "encode_frame",
     "error_code_for",
